@@ -1,0 +1,47 @@
+"""Figure 1b: GeoBFT throughput collapses as groups grow.
+
+The paper deploys GeoBFT on 12-57 nodes (3 groups of 4-19, 20 Mbps WAN
+per node) and observes throughput *decreasing* with group size: the group
+leader must ship f+1 entry copies per destination group, and f grows with
+n while the leader's upstream bandwidth does not.
+"""
+
+import pytest
+
+from benchmarks._helpers import record_results, run_once, saturated_config
+from repro.bench.harness import ExperimentRunner
+from repro.bench.report import format_series
+from repro.topology import nationwide_cluster
+
+GROUP_SIZES = (4, 7, 10, 13, 16, 19)
+
+
+def test_fig01b_geobft_group_size_collapse(benchmark):
+    def experiment():
+        runner = ExperimentRunner()
+        series = []
+        for n in GROUP_SIZES:
+            result = runner.run(
+                saturated_config("geobft", nationwide_cluster(nodes_per_group=n))
+            )
+            series.append((3 * n, result.throughput_ktps))
+        return series
+
+    series = run_once(benchmark, experiment)
+    print()
+    print(
+        format_series(
+            "Fig 1b GeoBFT",
+            [n for n, _ in series],
+            [t for _, t in series],
+            "total nodes",
+            "ktps",
+        )
+    )
+    print("paper: throughput decreases significantly as group size grows")
+    record_results("fig01b", series)
+
+    # Shape assertions: monotone-ish decline, large end-to-end drop.
+    first, last = series[0][1], series[-1][1]
+    assert last < 0.6 * first, (first, last)
+    assert all(t > 0 for _, t in series)

@@ -1,0 +1,84 @@
+"""Figure 9: overall performance on the worldwide cluster.
+
+Same matrix as Fig 8 but with Hong Kong / London / Silicon Valley RTTs
+(156-206 ms). The paper's findings: throughput is similar to nationwide
+(pipelining hides the longer consensus latency); latency rises for the
+Raft-based systems (MassBFT, Steward); ISS suffers most from per-epoch
+synchronisation (the paper lengthens its epoch from 0.1 s to 0.5 s to
+compensate; ``repro.protocols.registry.iss(epoch_slots=...)`` exposes
+the same knob).
+"""
+
+import pytest
+
+from benchmarks._helpers import record_results, run_once, saturated_config
+from repro.bench.harness import ExperimentRunner
+from repro.bench.report import format_table
+from repro.protocols import GeoDeployment, iss
+from repro.topology import nationwide_cluster, worldwide_cluster
+from repro.workloads import make_workload
+
+PROTOCOLS = ("massbft", "baseline", "geobft", "iss", "steward")
+WORKLOADS = ("ycsb-a", "smallbank")
+
+
+def run_workload(workload: str):
+    runner = ExperimentRunner()
+    cluster = worldwide_cluster(nodes_per_group=7)
+    rows = []
+    for protocol in PROTOCOLS:
+        result = runner.run_calibrated(
+            saturated_config(protocol, cluster, workload=workload)
+        )
+        rows.append(
+            [
+                protocol,
+                round(result.throughput_ktps, 2),
+                round(result.mean_latency_ms, 1),
+            ]
+        )
+    return rows
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_fig09_worldwide(benchmark, workload):
+    rows = run_once(benchmark, lambda: run_workload(workload))
+    print()
+    print(
+        format_table(
+            ["protocol", "ktps", "latency_ms"],
+            rows,
+            title=f"Fig 9 worldwide / {workload}",
+        )
+    )
+    record_results(f"fig09_{workload}", rows)
+
+    by_name = {r[0]: r for r in rows}
+    # Shape: MassBFT still wins throughput by a large factor worldwide.
+    for other in ("baseline", "geobft", "iss", "steward"):
+        assert by_name["massbft"][1] > 3 * by_name[other][1], (workload, other)
+
+
+def test_fig09_latency_grows_with_distance(benchmark):
+    """Worldwide latency exceeds nationwide latency for the Raft-based
+    protocols (the paper attributes the increase to Raft round trips)."""
+
+    def experiment():
+        runner = ExperimentRunner()
+        out = {}
+        for name, cluster in (
+            ("nationwide", nationwide_cluster(7)),
+            ("worldwide", worldwide_cluster(7)),
+        ):
+            result = runner.run_calibrated(saturated_config("massbft", cluster))
+            out[name] = (result.throughput_ktps, result.mean_latency_ms)
+        return out
+
+    out = run_once(benchmark, experiment)
+    print()
+    for name, (ktps, ms) in out.items():
+        print(f"  massbft {name}: {ktps:.2f} ktps, {ms:.1f} ms")
+    record_results("fig09_distance", out)
+    assert out["worldwide"][1] > out["nationwide"][1]
+    # Throughput stays in the same ballpark thanks to pipelining.
+    assert out["worldwide"][0] > 0.5 * out["nationwide"][0]

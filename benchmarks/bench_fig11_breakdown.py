@@ -1,0 +1,61 @@
+"""Figure 11: MassBFT latency breakdown (nationwide, YCSB-A).
+
+The paper's breakdown: global replication dominates (cross-datacenter
+latency); local consensus is significant (transaction signature
+verification); entry encoding + rebuild cost ~2.3 ms and are negligible.
+"""
+
+import pytest
+
+from benchmarks._helpers import record_results, run_once, saturated_config
+from repro.bench.harness import ExperimentRunner
+from repro.bench.report import format_table
+from repro.costs import CostModel
+from repro.topology import nationwide_cluster
+
+
+def test_fig11_latency_breakdown(benchmark):
+    def experiment():
+        runner = ExperimentRunner()
+        result = runner.run_calibrated(
+            saturated_config("massbft", nationwide_cluster(7))
+        )
+        costs = CostModel()
+        batch_bytes = result.mean_batch_size * 201
+        coding_ms = (
+            costs.encode_seconds(int(batch_bytes))
+            + costs.rebuild_seconds(int(batch_bytes))
+        ) * 1000
+        return result, coding_ms
+
+    result, coding_ms = run_once(benchmark, experiment)
+    phases = result.phase_durations
+    rows = [[k, round(v * 1000, 2)] for k, v in sorted(phases.items())]
+    rows.append(["encode+rebuild (model)", round(coding_ms, 2)])
+    print()
+    print(
+        format_table(
+            ["phase", "mean_ms"],
+            rows,
+            title="Fig 11 MassBFT latency breakdown (YCSB-A nationwide)",
+        )
+    )
+    print(f"  end-to-end mean latency: {result.mean_latency_ms:.1f} ms")
+    print("paper: replication dominates; encoding+rebuild ~2.3 ms (negligible)")
+    record_results(
+        "fig11",
+        {
+            "phases_ms": {k: v * 1000 for k, v in phases.items()},
+            "coding_ms": coding_ms,
+            "total_ms": result.mean_latency_ms,
+        },
+    )
+
+    # Shape assertions.
+    assert phases["global_replication"] == max(
+        v for k, v in phases.items() if k != "ordering_execution"
+    ) or phases["global_replication"] > 0.25 * result.mean_latency_s
+    # Coding cost is negligible relative to end-to-end latency (<10%).
+    assert coding_ms < 0.1 * result.mean_latency_ms
+    # Coding cost lands in the paper's few-millisecond regime.
+    assert 0.1 < coding_ms < 10.0

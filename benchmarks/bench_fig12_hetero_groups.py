@@ -1,0 +1,71 @@
+"""Figure 12: groups of different sizes (4, 7, 7) — the ablation ladder.
+
+Baseline -> BR (bijective full-copy) -> EBR (encoded, synchronous
+ordering) -> EBR+A (= MassBFT, asynchronous ordering). Paper findings:
+
+* BR beats Baseline (no leader bottleneck) but all groups run at the
+  same rate;
+* EBR raises throughput but the synchronous rounds cap every group at
+  the slowest (4-node) group's pace;
+* MassBFT (EBR+A) lets the 7-node groups run at their own, higher rate
+  while the 4-node group proceeds at its pace — highest total.
+"""
+
+import pytest
+
+from benchmarks._helpers import record_results, run_once, saturated_config
+from repro.bench.harness import ExperimentRunner
+from repro.bench.report import format_table
+from repro.topology import nationwide_cluster
+
+LADDER = ("baseline", "br", "ebr", "massbft")
+
+
+def test_fig12_heterogeneous_group_sizes(benchmark):
+    def experiment():
+        runner = ExperimentRunner()
+        cluster = nationwide_cluster(group_sizes=[4, 7, 7])
+        rows = []
+        for protocol in LADDER:
+            result = runner.run_calibrated(saturated_config(protocol, cluster))
+            rows.append(
+                [
+                    "EBR+A" if protocol == "massbft" else protocol.upper()
+                    if protocol != "baseline"
+                    else "Baseline",
+                    round(result.throughput_ktps, 2),
+                    round(result.group_throughput[0] / 1000, 2),
+                    round(result.group_throughput[1] / 1000, 2),
+                    round(result.group_throughput[2] / 1000, 2),
+                    round(result.mean_latency_ms, 1),
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["system", "total_ktps", "G1(4)_ktps", "G2(7)_ktps", "G3(7)_ktps", "lat_ms"],
+            rows,
+            title="Fig 12 heterogeneous group sizes (4, 7, 7)",
+        )
+    )
+    record_results("fig12", rows)
+
+    by_name = {r[0]: r for r in rows}
+    # The ladder is strictly increasing in total throughput.
+    assert (
+        by_name["Baseline"][1]
+        < by_name["BR"][1]
+        < by_name["EBR"][1]
+        < by_name["EBR+A"][1]
+    )
+    # Synchronous systems: all groups at (nearly) the same rate.
+    for name in ("BR", "EBR"):
+        g = by_name[name][2:5]
+        assert max(g) < 1.25 * min(g), (name, g)
+    # MassBFT decouples: the 7-node groups outrun the 4-node group.
+    ebra = by_name["EBR+A"]
+    assert ebra[3] > 1.3 * ebra[2]
+    assert ebra[4] > 1.3 * ebra[2]

@@ -1,0 +1,118 @@
+"""Figure 13: scalability in nodes per group (a) and group count (b).
+
+(a) Scaling nodes/group from 4 to 40: Baseline *decreases* (the leader
+ships f+1 copies and f grows), MassBFT *increases* (aggregate bandwidth
+grows) until transaction signature verification saturates the CPUs
+(paper: plateau beyond ~16 nodes/group).
+
+(b) Scaling groups 3 -> 7 at 7 nodes/group: both protocols lose
+throughput to the growing global-Raft overhead; the paper reports
+MassBFT -26.0% vs Baseline -37.6%.
+"""
+
+import pytest
+
+from benchmarks._helpers import record_results, run_once, saturated_config
+from repro.bench.harness import ExperimentRunner
+from repro.bench.report import format_series
+from repro.topology import nationwide_cluster, scaled_cluster
+
+NODE_COUNTS = (4, 7, 10, 16, 24, 32, 40)
+GROUP_COUNTS = (3, 4, 5, 6, 7)
+
+#: Saturating offered load per group, per protocol. Baseline's capacity
+#: is ~0.4-3 ktps/group across these sweeps; offering 30 ktps would grow
+#: its batches to the cap and leave only 1-2 execution rounds in the
+#: measurement window (pure quantization noise). MassBFT gets a high
+#: offered load so its plateau emerges from the CPU (signature
+#: verification), not from the offered rate.
+OFFERED = {"massbft": 40_000.0, "baseline": 4_000.0}
+
+
+def test_fig13a_scaling_nodes_per_group(benchmark):
+    def experiment():
+        runner = ExperimentRunner()
+        out = {"massbft": [], "baseline": []}
+        for n in NODE_COUNTS:
+            cluster = nationwide_cluster(nodes_per_group=n)
+            for protocol in out:
+                config = saturated_config(protocol, cluster)
+                config.offered_load = OFFERED[protocol]
+                result = runner.run(config)
+                out[protocol].append((n, result.throughput_ktps))
+        return out
+
+    out = run_once(benchmark, experiment)
+    print()
+    for protocol, series in out.items():
+        print(
+            format_series(
+                f"Fig 13a {protocol}",
+                [n for n, _ in series],
+                [t for _, t in series],
+                "nodes/group",
+                "ktps",
+            )
+        )
+    print("paper: Baseline decreases with n; MassBFT increases, then "
+          "plateaus (~16 nodes) on signature verification")
+    record_results("fig13a", out)
+
+    mass = dict(out["massbft"])
+    base = dict(out["baseline"])
+    # Baseline: monotone-ish decline from 4 to 40.
+    assert base[40] < 0.6 * base[4]
+    # MassBFT: grows substantially from 4 to 16...
+    assert mass[16] > 1.5 * mass[4]
+    # ...then flattens (CPU-bound): 24 -> 40 gains at most 15%.
+    assert mass[40] < 1.15 * mass[24]
+    # And MassBFT dominates Baseline at every size.
+    for n in NODE_COUNTS:
+        assert mass[n] > base[n]
+
+
+def test_fig13b_scaling_group_count(benchmark):
+    def experiment():
+        runner = ExperimentRunner()
+        out = {"massbft": [], "baseline": []}
+        for g in GROUP_COUNTS:
+            cluster = scaled_cluster(n_groups=g, nodes_per_group=7)
+            for protocol in out:
+                config = saturated_config(protocol, cluster)
+                config.offered_load = (
+                    30_000.0 if protocol == "massbft" else OFFERED["baseline"]
+                )
+                result = runner.run(config)
+                out[protocol].append((g, result.throughput_ktps))
+        return out
+
+    out = run_once(benchmark, experiment)
+    print()
+    for protocol, series in out.items():
+        drop = 100 * (1 - series[-1][1] / series[0][1])
+        print(
+            format_series(
+                f"Fig 13b {protocol} (drop {drop:.1f}%)",
+                [g for g, _ in series],
+                [t for _, t in series],
+                "groups",
+                "ktps",
+            )
+        )
+    print("paper: 3 -> 7 groups: MassBFT -26.0%, Baseline -37.6%")
+    record_results("fig13b", out)
+
+    mass = dict(out["massbft"])
+    base = dict(out["baseline"])
+    mass_drop = 1 - mass[7] / mass[3]
+    base_drop = 1 - base[7] / base[3]
+    # Both lose throughput with more groups (paper: -26.0% / -37.6%).
+    # Our bandwidth model yields near-identical relative drops (~n_g /
+    # (n_g - 1) for both strategies); the paper's larger Baseline drop
+    # includes braft-implementation overheads the simulation does not
+    # carry — recorded as a deviation in EXPERIMENTS.md.
+    assert 0.1 < mass_drop < 0.6
+    assert 0.1 < base_drop < 0.6
+    # MassBFT keeps a large absolute advantage at every group count.
+    for g in GROUP_COUNTS:
+        assert mass[g] > 5 * base[g]

@@ -1,0 +1,57 @@
+"""Figure 14: nodes with different bandwidths.
+
+All 7 nodes per group start at 40 Mbps; we progressively demote nodes to
+20 Mbps. Paper findings: throughput degrades gradually; beyond 4 slow
+nodes per group it drops sharply (-36.9%) because 5+ slow nodes exceed
+what the transfer plan can treat as crashed-equivalent, and latency
+*decreases* (-13.4%) as replication replaces execution as the bottleneck.
+"""
+
+import pytest
+
+from benchmarks._helpers import record_results, run_once, saturated_config
+from repro.bench.harness import ExperimentRunner
+from repro.bench.report import format_series
+from repro.topology import nationwide_cluster
+from repro.topology.presets import WAN_20MBPS, WAN_40MBPS
+
+SLOW_COUNTS = (0, 2, 4, 5, 7)
+
+
+def test_fig14_heterogeneous_bandwidth(benchmark):
+    def experiment():
+        runner = ExperimentRunner()
+        series = []
+        for n_slow in SLOW_COUNTS:
+            cluster = nationwide_cluster(
+                nodes_per_group=7, wan_bandwidth=WAN_40MBPS
+            )
+            for group in cluster.groups:
+                for index in range(n_slow):
+                    group.node_bandwidth[index] = WAN_20MBPS
+            result = runner.run(saturated_config("massbft", cluster))
+            series.append((n_slow, result.throughput_ktps))
+        return series
+
+    series = run_once(benchmark, experiment)
+    print()
+    print(
+        format_series(
+            "Fig 14 MassBFT",
+            [n for n, _ in series],
+            [t for _, t in series],
+            "slow nodes/group",
+            "ktps",
+        )
+    )
+    print("paper: gradual decline; -36.9% beyond 4 slow nodes")
+    record_results("fig14", series)
+
+    by_count = dict(series)
+    # Degradation is monotone in the number of slow nodes.
+    values = [t for _, t in series]
+    assert all(a >= b * 0.97 for a, b in zip(values, values[1:]))
+    # All-slow lands near half of all-fast (bandwidth halved).
+    assert 0.35 * by_count[0] < by_count[7] < 0.75 * by_count[0]
+    # A substantial drop has occurred past 4 slow nodes.
+    assert by_count[5] < 0.85 * by_count[0]

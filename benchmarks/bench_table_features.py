@@ -1,0 +1,60 @@
+"""Tables I/II: qualitative feature comparison of the implemented systems.
+
+Not a performance benchmark — it renders the feature matrix (Table II)
+from the implemented protocol specs and cross-checks that each spec's
+configuration actually matches its row, so the table cannot drift from
+the code.
+"""
+
+import pytest
+
+from benchmarks._helpers import record_results, run_once
+from repro.bench.report import format_table
+from repro.protocols import protocol_by_name
+from repro.protocols.registry import feature_table
+
+
+def test_table2_feature_matrix(benchmark):
+    def experiment():
+        table = feature_table()
+        rows = []
+        for system, features in table.items():
+            rows.append(
+                [
+                    system,
+                    features["multi_master"],
+                    features["replication"],
+                    features["consensus"],
+                    features["ordering"],
+                    features["coding"],
+                ]
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["System", "Multi-master", "Replication", "Consensus", "Ordering", "Coding"],
+            rows,
+            title="Table II key features of competitor systems",
+        )
+    )
+    record_results("table2", rows)
+
+    # Cross-check the table against the executable specs.
+    spec_of = {
+        "Steward": protocol_by_name("steward"),
+        "GeoBFT": protocol_by_name("geobft"),
+        "Baseline": protocol_by_name("baseline"),
+        "ISS": protocol_by_name("iss"),
+        "MassBFT": protocol_by_name("massbft"),
+    }
+    table = feature_table()
+    for system, spec in spec_of.items():
+        row = table[system]
+        assert (row["multi_master"] == "Y") == spec.multi_master
+        assert (row["coding"] == "Erasure-coded") == (spec.transport == "encoded")
+        assert (row["ordering"] == "Async.") == (spec.ordering == "async")
+        if row["consensus"] == "Broadcast":
+            assert spec.global_consensus == "none"

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""TPC-C order processing: deterministic execution and hotspot aborts.
+
+Runs the paper's TPC-C subset (50% NewOrder / 50% Payment, 128
+warehouses) through MassBFT with *full* execution: NewOrders really
+allocate order ids and decrement stock, Payments really update the
+warehouse/district YTD totals. Because Payment hammers per-warehouse
+hotspot rows, Aria's deterministic concurrency control aborts and
+retries conflicting transactions — the effect behind the paper's Fig 8d
+observation that MassBFT's large batches raise the abort rate.
+
+Run:  python examples/tpcc_orders.py
+"""
+
+from repro import GeoDeployment, baseline, massbft, nationwide_cluster
+from repro.workloads import TpccWorkload
+
+
+def run(spec, warehouses: int, load: float = 4_000):
+    deployment = GeoDeployment(
+        nationwide_cluster(nodes_per_group=7),
+        spec,
+        TpccWorkload(n_warehouses=warehouses),
+        offered_load=load,
+        execution="full",
+        seed=9,
+    )
+    metrics = deployment.run(duration=2.5, warmup=0.5)
+    return deployment, metrics
+
+
+def main() -> None:
+    print("=== TPC-C on MassBFT (full deterministic execution) ===\n")
+
+    deployment, metrics = run(massbft(), warehouses=128)
+    store = deployment.observer_of(0).pipeline.store
+
+    orders = sum(1 for _ in store.scan_prefix("order/"))
+    ytd = sum(
+        row["w_ytd"] for _, row in store.scan_prefix("warehouse/")
+    )
+    print(f"committed     : {metrics.committed:,} txns "
+          f"({metrics.throughput / 1000:.2f} ktps)")
+    print(f"mean latency  : {metrics.mean_latency * 1000:.0f} ms")
+    print(f"abort rate    : {metrics.abort_rate:.2%} "
+          f"(batch ~{metrics.mean_batch_size:.0f} txns)")
+    print(f"orders created: {orders:,}")
+    print(f"total payments booked (sum of w_ytd): {ytd:,.2f}\n")
+
+    # The Fig 8d effect: each system running near its own capacity
+    # (Baseline ~2 ktps/group, MassBFT ~15 ktps/group with the paper's
+    # fixed 20 ms batch timeout) produces very different batch sizes —
+    # and MassBFT's big batches hit the Payment hotspots far more often.
+    print("Abort-rate comparison near each system's capacity (Fig 8d):")
+    for spec, label, load in (
+        (baseline(), "Baseline", 2_000),
+        (massbft(), "MassBFT", 15_000),
+    ):
+        _, m = run(spec, warehouses=16, load=load)  # fewer warehouses => hotter
+        print(
+            f"  {label:<9} batch ~{m.mean_batch_size:5.0f} txns"
+            f"  abort rate {m.abort_rate:6.2%}"
+            f"  throughput {m.throughput / 1000:6.2f} ktps"
+        )
+
+
+if __name__ == "__main__":
+    main()

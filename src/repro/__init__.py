@@ -1,0 +1,94 @@
+"""MassBFT reproduction: fast and scalable geo-distributed BFT consensus.
+
+A from-scratch Python implementation of MassBFT (Peng et al., ICDE 2025)
+and everything it is built on and compared against: a discrete-event
+geo-network simulator, PBFT/Raft/Paxos, Reed-Solomon erasure coding,
+Merkle trees, Algorithm 1 transfer plans, Algorithm 2 asynchronous VTS
+ordering, Aria deterministic execution, the YCSB/SmallBank/TPC-C
+workloads, and the Baseline/GeoBFT/Steward/ISS/BR/EBR competitor
+protocols — all runnable through one deployment API.
+
+Quickstart::
+
+    from repro import GeoDeployment, massbft, nationwide_cluster, make_workload
+
+    deployment = GeoDeployment(
+        nationwide_cluster(nodes_per_group=7),
+        massbft(),
+        make_workload("ycsb-a"),
+        offered_load=20_000,           # txns/second per group
+    )
+    metrics = deployment.run(duration=2.0, warmup=0.5)
+    print(f"{metrics.throughput / 1000:.1f} ktps, "
+          f"{metrics.mean_latency * 1000:.0f} ms mean latency")
+"""
+
+from repro.bench import ExperimentRunner, RunConfig, RunResult
+from repro.core import (
+    DeterministicOrderer,
+    EntryId,
+    GroupClock,
+    LogEntry,
+    OptimisticRebuilder,
+    RoundBasedOrderer,
+    TransferPlan,
+    VectorTimestamp,
+    generate_transfer_plan,
+)
+from repro.costs import CostModel
+from repro.erasure import ReedSolomonCodec
+from repro.protocols import (
+    GeoDeployment,
+    ProtocolSpec,
+    baseline,
+    br,
+    ebr,
+    geobft,
+    iss,
+    massbft,
+    protocol_by_name,
+    steward,
+)
+from repro.topology import (
+    ClusterConfig,
+    GroupConfig,
+    nationwide_cluster,
+    scaled_cluster,
+    worldwide_cluster,
+)
+from repro.workloads import make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "CostModel",
+    "DeterministicOrderer",
+    "EntryId",
+    "ExperimentRunner",
+    "GeoDeployment",
+    "GroupClock",
+    "GroupConfig",
+    "LogEntry",
+    "OptimisticRebuilder",
+    "ProtocolSpec",
+    "ReedSolomonCodec",
+    "RoundBasedOrderer",
+    "RunConfig",
+    "RunResult",
+    "TransferPlan",
+    "VectorTimestamp",
+    "baseline",
+    "br",
+    "ebr",
+    "generate_transfer_plan",
+    "geobft",
+    "iss",
+    "make_workload",
+    "massbft",
+    "nationwide_cluster",
+    "protocol_by_name",
+    "scaled_cluster",
+    "steward",
+    "worldwide_cluster",
+]

@@ -1,0 +1,19 @@
+"""Benchmark harness: metrics, experiment runner, and report formatting.
+
+Each figure of the paper's evaluation has a bench target under
+``benchmarks/`` built on :class:`repro.bench.harness.ExperimentRunner`;
+this package holds the shared machinery.
+"""
+
+from repro.bench.metrics import RunMetrics
+from repro.bench.harness import ExperimentRunner, RunConfig, RunResult
+from repro.bench.report import format_series, format_table
+
+__all__ = [
+    "ExperimentRunner",
+    "RunConfig",
+    "RunMetrics",
+    "RunResult",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,176 @@
+"""Run-level measurement: throughput, latency, breakdowns, traffic.
+
+One :class:`RunMetrics` instance observes a deployment run. Transactions
+are counted once, at the moment the proposing group's observer node
+executes them; latency is end-to-end (client submission to execution).
+Entry phase stamps feed the Fig 11 latency breakdown; WAN byte counters
+feed the Fig 10 traffic comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.entry import EntryId
+from repro.sim.monitor import Histogram, TimeSeries
+
+#: Entry lifecycle phases stamped by the deployment, in order.
+ENTRY_PHASES = (
+    "batched",          # entry assembled from pending transactions
+    "local_committed",  # local PBFT consensus complete at the rep
+    "available_remote", # entry rebuilt/received at the last remote rep
+    "global_committed", # f_g+1 accepts gathered, commit broadcast
+    "executed",         # executed at the origin group's observer
+)
+
+
+class RunMetrics:
+    """Collects everything a benchmark reports about one run."""
+
+    def __init__(self, n_groups: int) -> None:
+        self.n_groups = n_groups
+        self.warmup = 0.0
+        self.committed = 0
+        self.aborted_attempts = 0
+        self.committed_by_group = [0] * n_groups
+        self.latency = Histogram("txn_latency")
+        self.latency_by_group = [Histogram(f"latency_g{g}") for g in range(n_groups)]
+        self.throughput_timeline = TimeSeries("throughput")
+        self.latency_timeline = TimeSeries("latency")
+        self.entry_stamps: Dict[EntryId, Dict[str, float]] = {}
+        self.entry_batch_waits: List[float] = []
+        self.batch_sizes = Histogram("batch_size")
+        self.dropped_txns = 0
+        self.end_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Recording (called by the deployment)
+    # ------------------------------------------------------------------
+
+    def record_commit(self, created_at: float, now: float, gid: int) -> None:
+        """One transaction executed at its origin group's observer."""
+        if now < self.warmup:
+            return
+        self.committed += 1
+        self.committed_by_group[gid] += 1
+        latency = now - created_at
+        self.latency.observe(latency)
+        self.latency_by_group[gid].observe(latency)
+        self.throughput_timeline.record(now, 1.0)
+        self.latency_timeline.record(now, latency)
+
+    def record_aborts(self, count: int, now: float) -> None:
+        if now >= self.warmup:
+            self.aborted_attempts += count
+
+    def record_drop(self, count: int = 1) -> None:
+        self.dropped_txns += count
+
+    def stamp(self, entry_id: EntryId, phase: str, now: float) -> None:
+        """Record a lifecycle timestamp for an entry."""
+        if phase not in ENTRY_PHASES:
+            raise ValueError(f"unknown entry phase {phase!r}")
+        stamps = self.entry_stamps.setdefault(entry_id, {})
+        # available_remote keeps the LAST remote arrival (slowest group).
+        if phase == "available_remote":
+            stamps[phase] = max(stamps.get(phase, 0.0), now)
+        else:
+            stamps.setdefault(phase, now)
+
+    def record_batch(self, size: int, mean_wait: float) -> None:
+        self.batch_sizes.observe(size)
+        self.entry_batch_waits.append(mean_wait)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def measured_duration(self) -> float:
+        if self.end_time is None:
+            raise RuntimeError("run not finalized (end_time unset)")
+        return max(1e-9, self.end_time - self.warmup)
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per simulated second (after warmup)."""
+        return self.committed / self.measured_duration()
+
+    def group_throughput(self, gid: int) -> float:
+        return self.committed_by_group[gid] / self.measured_duration()
+
+    @property
+    def mean_latency(self) -> float:
+        return self.latency.mean
+
+    @property
+    def p50_latency(self) -> float:
+        return self.latency.p50
+
+    @property
+    def p99_latency(self) -> float:
+        return self.latency.p99
+
+    @property
+    def abort_rate(self) -> float:
+        attempts = self.committed + self.aborted_attempts
+        if not attempts:
+            return 0.0
+        return self.aborted_attempts / attempts
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batch_sizes.mean
+
+    def phase_durations(self) -> Dict[str, float]:
+        """Mean seconds spent between consecutive lifecycle phases.
+
+        Keys: ``batching`` (client wait before the entry formed),
+        ``local_consensus``, ``global_replication``, ``global_consensus``,
+        ``ordering_execution`` — the Fig 11 breakdown components.
+        """
+        sums: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+
+        def add(key: str, value: float) -> None:
+            sums[key] = sums.get(key, 0.0) + value
+            counts[key] = counts.get(key, 0) + 1
+
+        for stamps in self.entry_stamps.values():
+            if "batched" not in stamps:
+                continue
+            t0 = stamps["batched"]
+            if t0 < self.warmup or "executed" not in stamps:
+                continue
+            if "local_committed" in stamps:
+                add("local_consensus", stamps["local_committed"] - t0)
+            if "available_remote" in stamps and "local_committed" in stamps:
+                add(
+                    "global_replication",
+                    stamps["available_remote"] - stamps["local_committed"],
+                )
+            if "global_committed" in stamps and "available_remote" in stamps:
+                add(
+                    "global_consensus",
+                    max(0.0, stamps["global_committed"] - stamps["available_remote"]),
+                )
+            anchor = stamps.get("global_committed") or stamps.get("local_committed")
+            if anchor is not None:
+                add("ordering_execution", max(0.0, stamps["executed"] - anchor))
+        if self.entry_batch_waits:
+            sums["batching"] = sum(self.entry_batch_waits)
+            counts["batching"] = len(self.entry_batch_waits)
+        return {
+            key: sums[key] / counts[key] for key in sums if counts.get(key)
+        }
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "throughput_tps": self.throughput,
+            "mean_latency_s": self.mean_latency,
+            "p50_latency_s": self.p50_latency,
+            "p99_latency_s": self.p99_latency,
+            "committed": float(self.committed),
+            "abort_rate": self.abort_rate,
+            "mean_batch_size": self.mean_batch_size,
+        }

@@ -1,0 +1,157 @@
+"""Command-line interface: run experiments without writing Python.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro plan 4 7                 # Algorithm 1 transfer plan
+    python -m repro run --protocol massbft   # one deployment run
+    python -m repro compare --workload tpcc  # all protocols side by side
+
+Every option mirrors a :class:`repro.protocols.base.GeoDeployment`
+constructor argument; defaults reproduce the paper's nationwide setup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.report import format_table
+from repro.core.transfer_plan import generate_transfer_plan
+from repro.protocols import GeoDeployment, protocol_by_name
+from repro.topology import nationwide_cluster, scaled_cluster, worldwide_cluster
+from repro.workloads import make_workload
+
+PROTOCOL_CHOICES = ("massbft", "baseline", "geobft", "steward", "iss", "br", "ebr")
+WORKLOAD_CHOICES = ("ycsb-a", "ycsb-b", "smallbank", "tpcc")
+CLUSTER_CHOICES = ("nationwide", "worldwide")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MassBFT reproduction: run simulated geo-consensus experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="print an Algorithm 1 transfer plan")
+    plan.add_argument("n1", type=int, help="sender group size")
+    plan.add_argument("n2", type=int, help="receiver group size")
+    plan.add_argument(
+        "--assignments", action="store_true", help="list every chunk assignment"
+    )
+
+    def add_run_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workload", choices=WORKLOAD_CHOICES, default="ycsb-a")
+        p.add_argument("--cluster", choices=CLUSTER_CHOICES, default="nationwide")
+        p.add_argument("--nodes", type=int, default=7, help="nodes per group")
+        p.add_argument("--groups", type=int, default=3, help="number of groups")
+        p.add_argument(
+            "--load", type=float, default=20_000.0, help="offered txns/s per group"
+        )
+        p.add_argument("--duration", type=float, default=2.0)
+        p.add_argument("--warmup", type=float, default=0.5)
+        p.add_argument("--seed", type=int, default=0)
+
+    run = sub.add_parser("run", help="run one protocol deployment")
+    run.add_argument(
+        "--protocol", choices=PROTOCOL_CHOICES, default="massbft"
+    )
+    add_run_options(run)
+    run.add_argument(
+        "--breakdown", action="store_true", help="print the latency breakdown"
+    )
+
+    compare = sub.add_parser("compare", help="run several protocols side by side")
+    compare.add_argument(
+        "--protocols",
+        default="massbft,baseline,geobft,steward,iss",
+        help="comma-separated protocol names",
+    )
+    add_run_options(compare)
+    return parser
+
+
+def _make_cluster(args: argparse.Namespace):
+    if args.groups != 3:
+        return scaled_cluster(n_groups=args.groups, nodes_per_group=args.nodes)
+    if args.cluster == "worldwide":
+        return worldwide_cluster(nodes_per_group=args.nodes)
+    return nationwide_cluster(nodes_per_group=args.nodes)
+
+
+def _run_one(protocol: str, args: argparse.Namespace):
+    deployment = GeoDeployment(
+        _make_cluster(args),
+        protocol_by_name(protocol),
+        make_workload(args.workload),
+        offered_load=args.load,
+        seed=args.seed,
+    )
+    metrics = deployment.run(duration=args.duration, warmup=args.warmup)
+    return deployment, metrics
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    plan = generate_transfer_plan(args.n1, args.n2)
+    print(f"Transfer plan {args.n1} -> {args.n2} nodes (Algorithm 1):")
+    print(f"  total chunks : {plan.n_total} = lcm({args.n1}, {args.n2})")
+    print(f"  data chunks  : {plan.n_data}")
+    print(f"  parity chunks: {plan.n_parity} "
+          f"(= {plan.nc1}*f1 + {plan.nc2}*f2)")
+    print(f"  per sender   : {plan.nc1} chunks")
+    print(f"  per receiver : {plan.nc2} chunks")
+    print(f"  WAN overhead : {plan.overhead:.3f} entry copies")
+    if args.assignments:
+        rows = [[a.chunk, f"N1.{a.sender}", f"N2.{a.receiver}"] for a in plan.assignments]
+        print(format_table(["chunk", "sender", "receiver"], rows))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    deployment, metrics = _run_one(args.protocol, args)
+    print(f"{args.protocol} on {deployment.cluster.describe()}, "
+          f"{args.workload}, {args.load:.0f} txns/s/group offered:")
+    print(f"  throughput  : {metrics.throughput / 1000:8.2f} ktps")
+    print(f"  mean latency: {metrics.mean_latency * 1000:8.1f} ms")
+    print(f"  p99 latency : {metrics.p99_latency * 1000:8.1f} ms")
+    print(f"  abort rate  : {metrics.abort_rate:8.2%}")
+    print(f"  WAN traffic : {deployment.network.wan_bytes_total / 1e6:8.1f} MB")
+    if args.breakdown:
+        print("  latency breakdown:")
+        for phase, seconds in sorted(metrics.phase_durations().items()):
+            print(f"    {phase:<20} {seconds * 1000:7.2f} ms")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for protocol in [p.strip() for p in args.protocols.split(",") if p.strip()]:
+        _, metrics = _run_one(protocol, args)
+        rows.append(
+            [
+                protocol,
+                round(metrics.throughput / 1000, 2),
+                round(metrics.mean_latency * 1000, 1),
+                round(metrics.abort_rate, 3),
+            ]
+        )
+    print(
+        format_table(
+            ["protocol", "ktps", "latency_ms", "abort_rate"],
+            rows,
+            title=f"{args.cluster} / {args.workload} / "
+            f"{args.groups}x{args.nodes} nodes / {args.load:.0f} tps/group offered",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"plan": cmd_plan, "run": cmd_run, "compare": cmd_compare}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Consensus substrates: PBFT, Raft, and Paxos, implemented from scratch.
+
+* :mod:`repro.consensus.pbft` — the local (intra-group) Byzantine consensus
+  used by MassBFT and every BFT baseline (Section II-A), including the
+  prepare-skipping accept variant, view changes and checkpoints.
+* :mod:`repro.consensus.raft` — a classic node-level Raft (leader election,
+  log replication, commitment); the global group-as-replica Raft engine in
+  :mod:`repro.core.global_raft` follows its rules.
+* :mod:`repro.consensus.paxos` — single-decree and multi-decree Paxos used
+  by the Steward baseline's global consensus.
+"""
+
+from repro.consensus.messages import wire_size
+from repro.consensus.pbft import PbftConfig, PbftReplica, ModeledPbftGroup
+from repro.consensus.raft import RaftConfig, RaftNode
+from repro.consensus.paxos import PaxosAcceptor, PaxosProposer, MultiPaxos
+
+__all__ = [
+    "ModeledPbftGroup",
+    "MultiPaxos",
+    "PaxosAcceptor",
+    "PaxosProposer",
+    "PbftConfig",
+    "PbftReplica",
+    "RaftConfig",
+    "RaftNode",
+    "wire_size",
+]

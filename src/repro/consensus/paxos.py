@@ -1,0 +1,222 @@
+"""Paxos consensus (Lamport): single-decree acceptors and Multi-Paxos.
+
+The Steward baseline orders entries with Paxos among group leaders
+(Table I), which is why only one group can commit a proposal at a time —
+the property responsible for Steward's low throughput in Fig 8/9. This
+module implements classic Paxos faithfully: Phase 1 (prepare/promise),
+Phase 2 (accept/accepted), learning via decide broadcasts, and a
+Multi-Paxos wrapper that skips Phase 1 while a proposer holds leadership
+of the slot stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.consensus.messages import (
+    PaxosAccept,
+    PaxosAccepted,
+    PaxosDecide,
+    PaxosPrepare,
+    PaxosPromise,
+)
+from repro.sim.network import Message, NodeAddress
+from repro.sim.node import SimNode
+
+Ballot = Tuple[int, int]  # (round, proposer_id): totally ordered
+
+
+class PaxosAcceptor:
+    """Acceptor state for a stream of slots, attached to a node."""
+
+    def __init__(self, node: SimNode) -> None:
+        self.node = node
+        self.promised: Dict[int, Ballot] = {}
+        self.accepted: Dict[int, Tuple[Ballot, Any]] = {}
+        node.on(PaxosPrepare, self._on_prepare)
+        node.on(PaxosAccept, self._on_accept)
+
+    def _on_prepare(self, msg: Message) -> None:
+        req: PaxosPrepare = msg.payload
+        promised = self.promised.get(req.slot)
+        if promised is None or req.ballot > promised:
+            self.promised[req.slot] = req.ballot
+            accepted = self.accepted.get(req.slot)
+            reply = PaxosPromise(
+                slot=req.slot,
+                ballot=req.ballot,
+                acceptor=self.node.addr,
+                accepted_ballot=accepted[0] if accepted else None,
+                accepted_value=accepted[1] if accepted else None,
+            )
+            self.node.send(msg.src, reply, reply.size_bytes)
+
+    def _on_accept(self, msg: Message) -> None:
+        req: PaxosAccept = msg.payload
+        promised = self.promised.get(req.slot)
+        if promised is None or req.ballot >= promised:
+            self.promised[req.slot] = req.ballot
+            self.accepted[req.slot] = (req.ballot, req.value)
+            reply = PaxosAccepted(
+                slot=req.slot, ballot=req.ballot, acceptor=self.node.addr
+            )
+            self.node.send(msg.src, reply, reply.size_bytes)
+
+
+@dataclass
+class _SlotAttempt:
+    ballot: Ballot
+    value: Any
+    promises: Dict[Any, Optional[Tuple[Ballot, Any]]] = field(default_factory=dict)
+    accepts: set = field(default_factory=set)
+    phase2_sent: bool = False
+    decided: bool = False
+
+
+class PaxosProposer:
+    """Proposer for a stream of slots.
+
+    ``on_decide(slot, value)`` fires when a slot's value is chosen. The
+    proposer learns decisions it initiated; :class:`MultiPaxos` wires
+    decide broadcasts so all members learn.
+    """
+
+    def __init__(
+        self,
+        node: SimNode,
+        acceptors: Tuple[NodeAddress, ...],
+        proposer_id: int,
+        on_decide: Callable[[int, Any], None],
+    ) -> None:
+        self.node = node
+        self.acceptors = tuple(sorted(acceptors))
+        self.proposer_id = proposer_id
+        self.on_decide = on_decide
+        self.attempts: Dict[int, _SlotAttempt] = {}
+        node.on(PaxosPromise, self._on_promise)
+        node.on(PaxosAccepted, self._on_accepted)
+
+    @property
+    def majority(self) -> int:
+        return len(self.acceptors) // 2 + 1
+
+    def propose(self, slot: int, value: Any, round_number: int = 0) -> None:
+        """Run full two-phase Paxos for ``slot``."""
+        ballot = (round_number, self.proposer_id)
+        attempt = self.attempts.get(slot)
+        if attempt is not None and attempt.ballot >= ballot:
+            ballot = (attempt.ballot[0] + 1, self.proposer_id)
+        self.attempts[slot] = _SlotAttempt(ballot=ballot, value=value)
+        req = PaxosPrepare(slot=slot, ballot=ballot)
+        for acceptor in self.acceptors:
+            self.node.send(acceptor, req, req.size_bytes)
+
+    def propose_direct(self, slot: int, value: Any, round_number: int = 0) -> None:
+        """Multi-Paxos fast path: skip Phase 1 (stable leadership)."""
+        ballot = (round_number, self.proposer_id)
+        attempt = _SlotAttempt(ballot=ballot, value=value, phase2_sent=True)
+        self.attempts[slot] = attempt
+        self._send_accepts(slot, attempt)
+
+    def _send_accepts(self, slot: int, attempt: _SlotAttempt) -> None:
+        req = PaxosAccept(slot=slot, ballot=attempt.ballot, value=attempt.value)
+        for acceptor in self.acceptors:
+            self.node.send(acceptor, req, req.size_bytes)
+
+    def _on_promise(self, msg: Message) -> None:
+        promise: PaxosPromise = msg.payload
+        attempt = self.attempts.get(promise.slot)
+        if attempt is None or promise.ballot != attempt.ballot or attempt.phase2_sent:
+            return
+        if promise.accepted_ballot is not None:
+            attempt.promises[promise.acceptor] = (
+                promise.accepted_ballot,
+                promise.accepted_value,
+            )
+        else:
+            attempt.promises[promise.acceptor] = None
+        if len(attempt.promises) >= self.majority:
+            # Adopt the highest-ballot previously accepted value, if any.
+            prior = [p for p in attempt.promises.values() if p is not None]
+            if prior:
+                attempt.value = max(prior, key=lambda p: p[0])[1]
+            attempt.phase2_sent = True
+            self._send_accepts(promise.slot, attempt)
+
+    def _on_accepted(self, msg: Message) -> None:
+        accepted: PaxosAccepted = msg.payload
+        attempt = self.attempts.get(accepted.slot)
+        if attempt is None or accepted.ballot != attempt.ballot:
+            return
+        attempt.accepts.add(accepted.acceptor)
+        if len(attempt.accepts) >= self.majority and not attempt.decided:
+            attempt.decided = True
+            self.on_decide(accepted.slot, attempt.value)
+
+
+class MultiPaxos:
+    """A Multi-Paxos group: every member is acceptor + learner; one node
+    at a time drives proposals (round-robin handoff is the caller's
+    choice — Steward's D-Paxos-style rotation lives in the protocol
+    layer).
+
+    Decisions are applied on every member in slot order via ``on_apply``.
+    """
+
+    def __init__(
+        self,
+        nodes: List[SimNode],
+        on_apply: Callable[[NodeAddress, int, Any], None],
+    ) -> None:
+        if len(nodes) < 3:
+            raise ValueError("Multi-Paxos needs at least 3 members")
+        self.nodes = sorted(nodes, key=lambda n: n.addr)
+        self.on_apply = on_apply
+        self.addresses = tuple(n.addr for n in self.nodes)
+        self.acceptors = [PaxosAcceptor(node) for node in self.nodes]
+        self.proposers: Dict[NodeAddress, PaxosProposer] = {}
+        self._decided: Dict[NodeAddress, Dict[int, Any]] = {
+            n.addr: {} for n in self.nodes
+        }
+        self._applied_through: Dict[NodeAddress, int] = {
+            n.addr: -1 for n in self.nodes
+        }
+        for proposer_id, node in enumerate(self.nodes):
+            self.proposers[node.addr] = PaxosProposer(
+                node,
+                self.addresses,
+                proposer_id,
+                on_decide=self._make_decide_handler(node),
+            )
+            node.on(PaxosDecide, self._make_learn_handler(node))
+
+    def _make_decide_handler(self, node: SimNode):
+        def handler(slot: int, value: Any) -> None:
+            decide = PaxosDecide(slot=slot, value=value)
+            for member in self.addresses:
+                if member != node.addr:
+                    node.send(member, decide, decide.size_bytes)
+            self._learn(node.addr, slot, value)
+
+        return handler
+
+    def _make_learn_handler(self, node: SimNode):
+        def handler(msg: Message) -> None:
+            decide: PaxosDecide = msg.payload
+            self._learn(node.addr, decide.slot, decide.value)
+
+        return handler
+
+    def _learn(self, addr: NodeAddress, slot: int, value: Any) -> None:
+        decided = self._decided[addr]
+        if slot in decided:
+            return
+        decided[slot] = value
+        while self._applied_through[addr] + 1 in decided:
+            self._applied_through[addr] += 1
+            index = self._applied_through[addr]
+            self.on_apply(addr, index, decided[index])
+
+    def propose(self, proposer: NodeAddress, slot: int, value: Any) -> None:
+        self.proposers[proposer].propose(slot, value)

@@ -1,0 +1,363 @@
+"""Raft consensus (Ongaro & Ousterhout), node-level implementation.
+
+This is the crash-fault-tolerant substrate the paper builds its global
+consensus on (Table I: Baseline and MassBFT use Raft globally; the braft
+library plays this role in the authors' prototype). The implementation
+covers leader election with randomized timeouts, heartbeats, pipelined log
+replication with the AppendEntries consistency check, and the
+commit-only-current-term rule.
+
+:class:`repro.core.global_raft.GlobalRaftInstance` specialises these rules
+to group-as-logical-replica operation; this module is the plain,
+standalone protocol (used directly in tests and available as a library
+component).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.consensus.messages import (
+    AppendEntries,
+    AppendEntriesReply,
+    RequestVote,
+    RequestVoteReply,
+)
+from repro.sim.network import Message, NodeAddress
+from repro.sim.node import SimNode
+
+
+class Role(Enum):
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+
+
+@dataclass
+class RaftConfig:
+    """Static configuration of one Raft cluster."""
+
+    members: Tuple[NodeAddress, ...]
+    election_timeout_min: float = 0.150
+    election_timeout_max: float = 0.300
+    heartbeat_interval: float = 0.050
+    #: Max entries bundled into one AppendEntries (pipelining batch).
+    max_batch: int = 64
+
+    def __post_init__(self) -> None:
+        if len(self.members) < 2:
+            raise ValueError("Raft needs at least 2 members")
+        if self.election_timeout_min <= self.heartbeat_interval:
+            raise ValueError("election timeout must exceed heartbeat interval")
+        self.members = tuple(sorted(self.members))
+
+    @property
+    def n(self) -> int:
+        return len(self.members)
+
+    @property
+    def majority(self) -> int:
+        return self.n // 2 + 1
+
+
+@dataclass
+class _LogSlot:
+    term: int
+    command: Any
+
+
+class RaftNode:
+    """One member's Raft state machine, attached to a :class:`SimNode`.
+
+    ``on_apply(index, command)`` fires on every member, in log order, as
+    entries commit. ``propose`` may be called on any node; non-leaders
+    reject (returning False) so callers can redirect to ``leader_hint``.
+    """
+
+    def __init__(
+        self,
+        node: SimNode,
+        config: RaftConfig,
+        on_apply: Callable[[int, Any], None],
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if node.addr not in config.members:
+            raise ValueError(f"{node.addr} is not a member of this Raft cluster")
+        self.node = node
+        self.config = config
+        self.on_apply = on_apply
+        self.rng = rng or random.Random(hash(node.addr) & 0xFFFFFFFF)
+
+        self.role = Role.FOLLOWER
+        self.current_term = 0
+        self.voted_for: Optional[NodeAddress] = None
+        self.log: List[_LogSlot] = []
+        self.commit_index = -1
+        self.last_applied = -1
+        self.leader_hint: Optional[NodeAddress] = None
+
+        # Leader-only state.
+        self.next_index: Dict[NodeAddress, int] = {}
+        self.match_index: Dict[NodeAddress, int] = {}
+        self._votes: set = set()
+
+        self._election_timer = None
+        self._heartbeat_timer = None
+
+        node.on(RequestVote, self._on_request_vote)
+        node.on(RequestVoteReply, self._on_request_vote_reply)
+        node.on(AppendEntries, self._on_append_entries)
+        node.on(AppendEntriesReply, self._on_append_entries_reply)
+
+        self._reset_election_timer()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @property
+    def is_leader(self) -> bool:
+        return self.role == Role.LEADER
+
+    def propose(self, command: Any) -> bool:
+        """Append a command if leader; returns False otherwise."""
+        if self.role != Role.LEADER:
+            return False
+        self.log.append(_LogSlot(term=self.current_term, command=command))
+        self._replicate_to_all()
+        return True
+
+    def last_log_index(self) -> int:
+        return len(self.log) - 1
+
+    def last_log_term(self) -> int:
+        return self.log[-1].term if self.log else 0
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+
+    def _election_timeout(self) -> float:
+        return self.rng.uniform(
+            self.config.election_timeout_min, self.config.election_timeout_max
+        )
+
+    def _reset_election_timer(self) -> None:
+        if self._election_timer is not None:
+            self._election_timer.cancel()
+        self._election_timer = self.node.set_timer(
+            self._election_timeout(), self._start_election
+        )
+
+    def _stop_election_timer(self) -> None:
+        if self._election_timer is not None:
+            self._election_timer.cancel()
+            self._election_timer = None
+
+    # ------------------------------------------------------------------
+    # Elections
+    # ------------------------------------------------------------------
+
+    def _start_election(self) -> None:
+        if self.node.crashed:
+            return
+        self.role = Role.CANDIDATE
+        self.current_term += 1
+        self.voted_for = self.node.addr
+        self._votes = {self.node.addr}
+        self.leader_hint = None
+        self._reset_election_timer()
+        req = RequestVote(
+            term=self.current_term,
+            candidate=self.node.addr,
+            last_log_index=self.last_log_index(),
+            last_log_term=self.last_log_term(),
+        )
+        for member in self.config.members:
+            if member != self.node.addr:
+                self.node.send(member, req, req.size_bytes)
+        self._maybe_win()
+
+    def _on_request_vote(self, msg: Message) -> None:
+        req: RequestVote = msg.payload
+        if req.term > self.current_term:
+            self._step_down(req.term)
+        granted = False
+        if req.term == self.current_term and self.voted_for in (None, req.candidate):
+            log_ok = (req.last_log_term, req.last_log_index) >= (
+                self.last_log_term(),
+                self.last_log_index(),
+            )
+            if log_ok:
+                granted = True
+                self.voted_for = req.candidate
+                self._reset_election_timer()
+        reply = RequestVoteReply(
+            term=self.current_term, voter=self.node.addr, granted=granted
+        )
+        self.node.send(req.candidate, reply, reply.size_bytes)
+
+    def _on_request_vote_reply(self, msg: Message) -> None:
+        reply: RequestVoteReply = msg.payload
+        if reply.term > self.current_term:
+            self._step_down(reply.term)
+            return
+        if self.role != Role.CANDIDATE or reply.term != self.current_term:
+            return
+        if reply.granted:
+            self._votes.add(reply.voter)
+            self._maybe_win()
+
+    def _maybe_win(self) -> None:
+        if self.role == Role.CANDIDATE and len(self._votes) >= self.config.majority:
+            self._become_leader()
+
+    def _become_leader(self) -> None:
+        self.role = Role.LEADER
+        self.leader_hint = self.node.addr
+        self._stop_election_timer()
+        for member in self.config.members:
+            self.next_index[member] = len(self.log)
+            self.match_index[member] = -1
+        self.match_index[self.node.addr] = self.last_log_index()
+        self._heartbeat_timer = self.node.set_timer(
+            0.0, self._replicate_to_all, interval=self.config.heartbeat_interval
+        )
+
+    def _step_down(self, term: int) -> None:
+        if term > self.current_term:
+            self.current_term = term
+            self.voted_for = None
+        if self.role == Role.LEADER and self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+            self._heartbeat_timer = None
+        self.role = Role.FOLLOWER
+        self._reset_election_timer()
+
+    # ------------------------------------------------------------------
+    # Log replication
+    # ------------------------------------------------------------------
+
+    def _replicate_to_all(self) -> None:
+        if self.role != Role.LEADER:
+            return
+        for member in self.config.members:
+            if member != self.node.addr:
+                self._replicate_to(member)
+
+    def _replicate_to(self, member: NodeAddress) -> None:
+        next_idx = self.next_index.get(member, len(self.log))
+        prev_idx = next_idx - 1
+        prev_term = self.log[prev_idx].term if prev_idx >= 0 else 0
+        entries = tuple(
+            (slot.term, slot.command)
+            for slot in self.log[next_idx : next_idx + self.config.max_batch]
+        )
+        ae = AppendEntries(
+            term=self.current_term,
+            leader=self.node.addr,
+            prev_log_index=prev_idx,
+            prev_log_term=prev_term,
+            entries=entries,
+            leader_commit=self.commit_index,
+        )
+        self.node.send(member, ae, ae.size_bytes)
+
+    def _on_append_entries(self, msg: Message) -> None:
+        ae: AppendEntries = msg.payload
+        if ae.term > self.current_term:
+            self._step_down(ae.term)
+        if ae.term < self.current_term:
+            reply = AppendEntriesReply(
+                term=self.current_term,
+                follower=self.node.addr,
+                success=False,
+                match_index=-1,
+            )
+            self.node.send(ae.leader, reply, reply.size_bytes)
+            return
+        # Valid leader for our term.
+        if self.role != Role.FOLLOWER:
+            self._step_down(ae.term)
+        self.leader_hint = ae.leader
+        self._reset_election_timer()
+
+        # Consistency check.
+        if ae.prev_log_index >= 0 and (
+            ae.prev_log_index >= len(self.log)
+            or self.log[ae.prev_log_index].term != ae.prev_log_term
+        ):
+            reply = AppendEntriesReply(
+                term=self.current_term,
+                follower=self.node.addr,
+                success=False,
+                match_index=-1,
+            )
+            self.node.send(ae.leader, reply, reply.size_bytes)
+            return
+
+        # Append, truncating conflicts.
+        index = ae.prev_log_index
+        for term, command in ae.entries:
+            index += 1
+            if index < len(self.log):
+                if self.log[index].term != term:
+                    del self.log[index:]
+                    self.log.append(_LogSlot(term=term, command=command))
+            else:
+                self.log.append(_LogSlot(term=term, command=command))
+
+        if ae.leader_commit > self.commit_index:
+            self.commit_index = min(ae.leader_commit, self.last_log_index())
+            self._apply_ready()
+
+        reply = AppendEntriesReply(
+            term=self.current_term,
+            follower=self.node.addr,
+            success=True,
+            match_index=index,
+        )
+        self.node.send(ae.leader, reply, reply.size_bytes)
+
+    def _on_append_entries_reply(self, msg: Message) -> None:
+        reply: AppendEntriesReply = msg.payload
+        if reply.term > self.current_term:
+            self._step_down(reply.term)
+            return
+        if self.role != Role.LEADER or reply.term != self.current_term:
+            return
+        if reply.success:
+            self.match_index[reply.follower] = max(
+                self.match_index.get(reply.follower, -1), reply.match_index
+            )
+            self.next_index[reply.follower] = reply.match_index + 1
+            self._advance_commit()
+            if self.next_index[reply.follower] < len(self.log):
+                self._replicate_to(reply.follower)
+        else:
+            self.next_index[reply.follower] = max(
+                0, self.next_index.get(reply.follower, len(self.log)) - 1
+            )
+            self._replicate_to(reply.follower)
+
+    def _advance_commit(self) -> None:
+        """Commit the highest index replicated on a majority in this term."""
+        self.match_index[self.node.addr] = self.last_log_index()
+        for index in range(self.last_log_index(), self.commit_index, -1):
+            if self.log[index].term != self.current_term:
+                break  # Raft commits only current-term entries directly
+            replicas = sum(
+                1 for m in self.config.members if self.match_index.get(m, -1) >= index
+            )
+            if replicas >= self.config.majority:
+                self.commit_index = index
+                self._apply_ready()
+                break
+
+    def _apply_ready(self) -> None:
+        while self.last_applied < self.commit_index:
+            self.last_applied += 1
+            self.on_apply(self.last_applied, self.log[self.last_applied].command)

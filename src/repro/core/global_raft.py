@@ -1,0 +1,218 @@
+"""Global (inter-group) consensus messages and per-instance state.
+
+MassBFT runs ``n_g`` Raft instances in parallel: group ``G_i`` leads the
+i-th instance and follows in all others (Section V-A). Groups act as
+logical replicas; the group's current representative (its local PBFT
+leader) exchanges these messages with other representatives over the WAN.
+Entry *bodies* do not travel in these messages — the replication
+transports (:mod:`repro.core.replication`) move them; the global messages
+carry digests, certificates, vector-timestamp assignments, quorum
+bookkeeping, and the takeover votes used when a whole group crashes.
+
+The runtime driving these messages lives in
+:class:`repro.protocols.base.GroupRuntime`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.consensus.messages import HEADER_SIZE
+from repro.crypto.hashing import DIGEST_SIZE
+
+#: (target gid, target seq, timestamp) — one VTS element assignment.
+TsAssignment = Tuple[int, int, int]
+
+
+@dataclass
+class GRPropose:
+    """Instance leader's propose: digest + certificate (entry travels
+    separately via the transport). Piggybacks pending timestamp
+    assignments made by the proposing group (its Raft instance is the
+    replication vehicle for them)."""
+
+    instance: int
+    seq: int
+    digest: bytes
+    entry_size: int
+    tx_count: int
+    cert_size: int
+    ts_assignments: Tuple[TsAssignment, ...] = ()
+
+    @property
+    def size_bytes(self) -> int:
+        return (
+            HEADER_SIZE
+            + DIGEST_SIZE
+            + self.cert_size
+            + 12 * len(self.ts_assignments)
+        )
+
+
+@dataclass
+class GRAccept:
+    """A follower group's accept receipt for (instance, seq).
+
+    Carries the acceptor group's clock assignment for the entry
+    (overlapped VTS, Fig 7b). In MassBFT this message is broadcast to
+    *all* representatives — both for the slow-receiver optimisation
+    (Section V-C) and as the prompt vehicle for VTS replication.
+    """
+
+    instance: int
+    seq: int
+    from_gid: int
+    ts: int
+    cert_size: int
+
+    @property
+    def size_bytes(self) -> int:
+        return HEADER_SIZE + 12 + self.cert_size
+
+
+@dataclass
+class GRCommit:
+    """Instance leader's commit announcement after f_g+1 accepts."""
+
+    instance: int
+    seq: int
+    cert_size: int
+
+    @property
+    def size_bytes(self) -> int:
+        return HEADER_SIZE + self.cert_size
+
+
+@dataclass
+class GRTsReplicate:
+    """Standalone timestamp-assignment flush.
+
+    Used (a) by idle/slow groups so their assignments do not wait for a
+    piggyback opportunity, and (b) by a takeover group assigning on
+    behalf of a crashed group's clock.
+    """
+
+    assigner: int
+    assignments: Tuple[TsAssignment, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        return HEADER_SIZE + 12 * len(self.assignments)
+
+
+@dataclass
+class GRTakeoverRequest:
+    """Candidacy to lead a (presumed crashed) group's Raft instance."""
+
+    instance: int
+    candidate: int
+    term: int
+
+    @property
+    def size_bytes(self) -> int:
+        return HEADER_SIZE
+
+
+@dataclass
+class GRTakeoverVote:
+    instance: int
+    candidate: int
+    term: int
+    voter: int
+    granted: bool
+
+    @property
+    def size_bytes(self) -> int:
+        return HEADER_SIZE
+
+
+# ----------------------------------------------------------------------
+# Intra-group (LAN) notifications from the representative to members
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LocalTsNotice:
+    """Representative -> members: learned VTS assignments."""
+
+    assignments: Tuple[Tuple[int, int, int, int], ...]  # (assigner, gid, seq, ts)
+
+    @property
+    def size_bytes(self) -> int:
+        return HEADER_SIZE + 16 * len(self.assignments)
+
+
+@dataclass
+class LocalCommitNotice:
+    """Representative -> members: entry (gid, seq) is globally committed."""
+
+    gid: int
+    seq: int
+
+    @property
+    def size_bytes(self) -> int:
+        return HEADER_SIZE
+
+
+# ----------------------------------------------------------------------
+# Per-instance bookkeeping
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class OutstandingEntry:
+    """Leader-side state for one proposed (instance, seq)."""
+
+    seq: int
+    accepts: Set[int] = field(default_factory=set)
+    committed: bool = False
+    commit_pbft_started: bool = False
+
+
+@dataclass
+class FollowerSlot:
+    """Follower-side state for one (instance, seq)."""
+
+    seq: int
+    propose_received: bool = False
+    ts: Optional[int] = None
+    ts_flushed: bool = False
+    accept_pbft_started: bool = False
+    accept_sent: bool = False
+    committed: bool = False
+
+
+@dataclass
+class InstanceState:
+    """One group's view of one global Raft instance."""
+
+    instance: int
+    #: As leader: seq -> OutstandingEntry.
+    outstanding: Dict[int, OutstandingEntry] = field(default_factory=dict)
+    #: As follower: seq -> FollowerSlot.
+    slots: Dict[int, FollowerSlot] = field(default_factory=dict)
+    #: Highest seq known committed on this instance.
+    committed_through: int = 0
+    #: Last simulated time we heard from the instance leader.
+    last_heard: float = 0.0
+    #: Takeover: which group currently leads this instance (None = owner).
+    takeover_leader: Optional[int] = None
+    takeover_term: int = 0
+    takeover_votes: Set[int] = field(default_factory=set)
+    #: Frozen clock value a takeover leader assigns on the owner's behalf.
+    frozen_clock: int = 0
+
+    def slot(self, seq: int) -> FollowerSlot:
+        state = self.slots.get(seq)
+        if state is None:
+            state = FollowerSlot(seq=seq)
+            self.slots[seq] = state
+        return state
+
+    def outstanding_entry(self, seq: int) -> OutstandingEntry:
+        state = self.outstanding.get(seq)
+        if state is None:
+            state = OutstandingEntry(seq=seq)
+            self.outstanding[seq] = state
+        return state

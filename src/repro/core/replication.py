@@ -1,0 +1,628 @@
+"""Inter-group log replication transports (Section IV).
+
+Three strategies move a locally-committed entry from its proposing group
+to every other group; all deliver the same event ("this node now holds
+entry e, certificate-verified") but differ in who sends and how much:
+
+* :class:`LeaderUnicastTransport` — the group leader sends a full entry
+  copy to ``f+1`` nodes of each destination group (Baseline, GeoBFT,
+  Steward, ISS; the GeoBFT optimisation of Section VI applied to all).
+  The leader's upstream WAN NIC serializes every copy: the single-node
+  bottleneck of Fig 1b/13a.
+
+* :class:`BijectiveTransport` — ``f1+f2+1`` distinct senders each ship a
+  full copy to a distinct receiver (Section IV-A; the BR ablation of
+  Fig 12). No leader bottleneck, but still whole-entry redundancy.
+
+* :class:`EncodedBijectiveTransport` — MassBFT's strategy (Section IV-B):
+  every node sends only its transfer-plan share of Reed-Solomon chunks,
+  each chunk carrying a Merkle proof; receivers exchange chunks over LAN
+  and optimistically rebuild (Section IV-C).
+
+Transports operate on *participant* objects (``repro.protocols.base.GeoNode``)
+exposing ``gid``/``index`` plus the SimNode messaging API, and call
+``deliver(node, entry_id)`` exactly once per (node, entry) when the entry
+is locally available and validated.
+
+Coding modes: ``real`` erasure-codes the entry's actual payload bytes
+(used by correctness tests, examples, and the fault experiments);
+``simulated`` ships size-accurate placeholder chunks and counts them
+(used by large throughput sweeps). Byzantine tampering is supported in
+both modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.consensus.messages import HEADER_SIZE
+from repro.core.entry import EntryId, LogEntry
+from repro.core.rebuild import OptimisticRebuilder
+from repro.core.transfer_plan import TransferPlan, generate_transfer_plan
+from repro.costs import CostModel
+from repro.crypto.hashing import digest
+from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.erasure.reed_solomon import ReedSolomonCodec
+from repro.sim.network import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.node import SimNode
+
+#: deliver(node, entry_id): the entry is now locally present & verified.
+DeliverCallback = Callable[["SimNode", EntryId], None]
+#: Entry lookup (the deployment's registry).
+EntryLookup = Callable[[EntryId], LogEntry]
+
+#: Default wire size of a quorum certificate (2f+1 signatures, n=7).
+DEFAULT_CERT_SIZE = 6 * 72 + 32
+
+
+# ----------------------------------------------------------------------
+# Wire messages
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class EntryMessage:
+    """A full entry copy with its certificate (leader/bijective sending)."""
+
+    entry_id: EntryId
+    entry_size: int
+    cert_size: int
+    genuine: bool = True  # False when a Byzantine sender shipped garbage
+
+    @property
+    def size_bytes(self) -> int:
+        return HEADER_SIZE + self.entry_size + self.cert_size
+
+
+@dataclass
+class LocalEntryShare:
+    """Intra-group forward of a received entry."""
+
+    entry_id: EntryId
+    entry_size: int
+    cert_size: int
+    genuine: bool = True
+
+    @property
+    def size_bytes(self) -> int:
+        return HEADER_SIZE + self.entry_size + self.cert_size
+
+
+@dataclass
+class ChunkMessage:
+    """One erasure-coded chunk crossing the WAN.
+
+    ``data`` is the real chunk bytes in real-coding mode and ``b""`` in
+    simulated mode (``data_size`` is authoritative for the wire either
+    way). ``root`` identifies the encoding; ``genuine`` marks whether the
+    chunk derives from the certified entry (simulated-mode stand-in for
+    actually checking the rebuilt payload).
+    """
+
+    entry_id: EntryId
+    root: bytes
+    chunk_id: int
+    data: bytes
+    data_size: int
+    proof: Optional[MerkleProof]
+    n_data: int
+    n_total: int
+    cert_size: int  # 0 when the cert was already sent on this link
+    genuine: bool = True
+
+    @property
+    def size_bytes(self) -> int:
+        proof_size = self.proof.size_bytes if self.proof is not None else 48
+        return HEADER_SIZE + self.data_size + proof_size + self.cert_size
+
+
+@dataclass
+class LocalChunkShare:
+    """Intra-group exchange of a received chunk."""
+
+    entry_id: EntryId
+    root: bytes
+    chunk_id: int
+    data: bytes
+    data_size: int
+    proof: Optional[MerkleProof]
+    n_data: int
+    n_total: int
+    genuine: bool = True
+
+    @property
+    def size_bytes(self) -> int:
+        proof_size = self.proof.size_bytes if self.proof is not None else 48
+        return HEADER_SIZE + self.data_size + proof_size
+
+
+# ----------------------------------------------------------------------
+# Shared plumbing
+# ----------------------------------------------------------------------
+
+
+class _TransportBase:
+    """State and helpers common to all three transports."""
+
+    def __init__(
+        self,
+        members: Dict[int, List["SimNode"]],
+        deliver: DeliverCallback,
+        get_entry: EntryLookup,
+        costs: Optional[CostModel] = None,
+        cert_size: int = DEFAULT_CERT_SIZE,
+    ) -> None:
+        self.members = {gid: sorted(nodes, key=lambda n: n.addr) for gid, nodes in members.items()}
+        self.deliver = deliver
+        self.get_entry = get_entry
+        self.costs = costs or CostModel()
+        self.cert_size = cert_size
+        #: (node addr, entry_id) pairs already delivered.
+        self._delivered: Set[Tuple[object, EntryId]] = set()
+        self.monitor_counters: Dict[str, int] = {}
+
+    def group_size(self, gid: int) -> int:
+        return len(self.members[gid])
+
+    def faulty_bound(self, gid: int) -> int:
+        return (self.group_size(gid) - 1) // 3
+
+    def other_groups(self, gid: int) -> List[int]:
+        return [g for g in sorted(self.members) if g != gid]
+
+    def _count(self, key: str, amount: int = 1) -> None:
+        self.monitor_counters[key] = self.monitor_counters.get(key, 0) + amount
+
+    def _deliver_once(self, node: "SimNode", entry_id: EntryId) -> None:
+        key = (node.addr, entry_id)
+        if key in self._delivered:
+            return
+        self._delivered.add(key)
+        self.deliver(node, entry_id)
+
+    def mark_origin_delivered(self, entry_id: EntryId) -> None:
+        """Origin-group nodes hold the entry from local consensus."""
+        gid = entry_id.gid
+        for node in self.members[gid]:
+            if not node.crashed:
+                self._deliver_once(node, entry_id)
+
+
+# ----------------------------------------------------------------------
+# Leader unicast (Baseline / GeoBFT / Steward / ISS)
+# ----------------------------------------------------------------------
+
+
+class LeaderUnicastTransport(_TransportBase):
+    """The group leader ships ``f+1`` full copies to each remote group."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        for nodes in self.members.values():
+            for node in nodes:
+                node.on(EntryMessage, self._make_wan_handler(node))
+                node.on(LocalEntryShare, self._make_local_handler(node))
+
+    def replicate(
+        self, entry: LogEntry, group_nodes: List["SimNode"], leader: "SimNode"
+    ) -> None:
+        """Called once per entry after local commit; only ``leader`` sends."""
+        sender = leader
+        self.mark_origin_delivered(entry.entry_id)
+        for dst_gid in self.other_groups(entry.gid):
+            receivers = self.members[dst_gid][: self.faulty_bound(dst_gid) + 1]
+            for receiver in receivers:
+                genuine = not sender.byzantine
+                msg = EntryMessage(
+                    entry_id=entry.entry_id,
+                    entry_size=entry.size_bytes,
+                    cert_size=self.cert_size,
+                    genuine=genuine,
+                )
+                sender.send(receiver.addr, msg, msg.size_bytes)
+                self._count("wan_entry_copies")
+
+    def _make_wan_handler(self, node: "SimNode"):
+        def handler(msg: Message) -> None:
+            payload: EntryMessage = msg.payload
+            if not payload.genuine:
+                return  # certificate verification rejects garbage
+            # Verify the certificate, then forward to the whole group.
+            verify = self.costs.certificate_verify_seconds(
+                2 * self.faulty_bound(node.addr.group) + 1
+            )
+            node.consume_cpu(verify, lambda: self._accept_and_share(node, payload))
+
+        return handler
+
+    def _accept_and_share(self, node: "SimNode", payload: EntryMessage) -> None:
+        key = (node.addr, payload.entry_id)
+        if key in self._delivered:
+            return
+        if node.byzantine:
+            return  # a faulty receiver silently drops the entry
+        share = LocalEntryShare(
+            entry_id=payload.entry_id,
+            entry_size=payload.entry_size,
+            cert_size=payload.cert_size,
+            genuine=payload.genuine,
+        )
+        node.broadcast_local(share, share.size_bytes)
+        self._deliver_once(node, payload.entry_id)
+
+    def _make_local_handler(self, node: "SimNode"):
+        def handler(msg: Message) -> None:
+            payload: LocalEntryShare = msg.payload
+            if payload.genuine:
+                self._deliver_once(node, payload.entry_id)
+
+        return handler
+
+
+# ----------------------------------------------------------------------
+# Bijective full-copy (BR ablation, Section IV-A)
+# ----------------------------------------------------------------------
+
+
+class BijectiveTransport(LeaderUnicastTransport):
+    """``f1+f2+1`` senders each ship one full copy to a distinct receiver.
+
+    Reuses the unicast receive path (cert verify + local share); only the
+    sending fan-out differs. When a group pair cannot field ``f1+f2+1``
+    distinct pairs the plan clips to the smaller group (the partitioned
+    bijective generalisation the paper cites, reduced to the case our
+    topologies need).
+    """
+
+    def replicate(
+        self, entry: LogEntry, group_nodes: List["SimNode"], leader: "SimNode"
+    ) -> None:
+        """Called once per entry; ``f1+f2+1`` members transmit independently."""
+        self.mark_origin_delivered(entry.entry_id)
+        src_gid = entry.gid
+        f1 = self.faulty_bound(src_gid)
+        for dst_gid in self.other_groups(src_gid):
+            f2 = self.faulty_bound(dst_gid)
+            pairs = min(
+                f1 + f2 + 1, self.group_size(src_gid), self.group_size(dst_gid)
+            )
+            for k in range(pairs):
+                sender = self.members[src_gid][k]
+                receiver = self.members[dst_gid][k]
+                if sender.crashed:
+                    continue
+                msg = EntryMessage(
+                    entry_id=entry.entry_id,
+                    entry_size=entry.size_bytes,
+                    cert_size=self.cert_size,
+                    genuine=not sender.byzantine,
+                )
+                sender.send(receiver.addr, msg, msg.size_bytes)
+                self._count("wan_entry_copies")
+
+
+# ----------------------------------------------------------------------
+# Encoded bijective (MassBFT, Section IV-B/IV-C)
+# ----------------------------------------------------------------------
+
+
+class EncodedBijectiveTransport(_TransportBase):
+    """Erasure-coded chunk transfer along Algorithm 1 plans."""
+
+    def __init__(
+        self,
+        members: Dict[int, List["SimNode"]],
+        deliver: DeliverCallback,
+        get_entry: EntryLookup,
+        costs: Optional[CostModel] = None,
+        cert_size: int = DEFAULT_CERT_SIZE,
+        coding: str = "simulated",
+    ) -> None:
+        super().__init__(members, deliver, get_entry, costs, cert_size)
+        if coding not in ("real", "simulated"):
+            raise ValueError(f"unknown coding mode {coding!r}")
+        self.coding = coding
+        #: A sender further behind than this skips its (redundant) chunks
+        #: — its contribution is covered by the parity budget, and real
+        #: systems drop stale redundant data rather than queue forever.
+        self.stale_send_backlog = 0.35
+        self._plans: Dict[Tuple[int, int], TransferPlan] = {}
+        self._codecs: Dict[Tuple[int, int], ReedSolomonCodec] = {}
+        # Receiver-side state, per (node addr, entry_id).
+        self._rebuilders: Dict[Tuple[object, EntryId], OptimisticRebuilder] = {}
+        self._sim_state: Dict[Tuple[object, EntryId], "_SimRebuildState"] = {}
+        for nodes in self.members.values():
+            for node in nodes:
+                node.on(ChunkMessage, self._make_wan_handler(node))
+                node.on(LocalChunkShare, self._make_local_handler(node))
+
+    # -- plan/codec caches ------------------------------------------------
+
+    def plan_for(self, src_gid: int, dst_gid: int) -> TransferPlan:
+        key = (self.group_size(src_gid), self.group_size(dst_gid))
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = generate_transfer_plan(*key)
+            self._plans[key] = plan
+        return plan
+
+    def codec_for(self, plan: TransferPlan) -> ReedSolomonCodec:
+        key = (plan.n_data, plan.n_total)
+        codec = self._codecs.get(key)
+        if codec is None:
+            codec = ReedSolomonCodec(plan.n_data, plan.n_total - plan.n_data)
+            self._codecs[key] = codec
+        return codec
+
+    # -- sender side -------------------------------------------------------
+
+    def replicate(
+        self, entry: LogEntry, group_nodes: List["SimNode"], leader: "SimNode"
+    ) -> None:
+        """Called once per entry after local commit: every group member
+        transmits its plan share to every destination group."""
+        self.mark_origin_delivered(entry.entry_id)
+        src_gid = entry.gid
+        for dst_gid in self.other_groups(src_gid):
+            plan = self.plan_for(src_gid, dst_gid)
+            chunk_size = max(1, -(-entry.size_bytes // plan.n_data))
+            encodings = self._encodings_for(entry, plan)
+            for sender in self.members[src_gid]:
+                if sender.crashed:
+                    continue
+                encode_cost = self.costs.encode_seconds(entry.size_bytes)
+                sender.consume_cpu(
+                    encode_cost,
+                    self._make_send_share(
+                        sender, entry, dst_gid, plan, chunk_size, encodings
+                    ),
+                )
+
+    def _encodings_for(self, entry: LogEntry, plan: TransferPlan) -> Dict[bool, Tuple]:
+        """(chunks, tree) per genuineness, computed once per (entry, plan).
+
+        In real mode both the genuine and (if any Byzantine member exists)
+        tampered encodings are materialised; in simulated mode only roots.
+        """
+        out: Dict[bool, Tuple] = {}
+        if self.coding == "real":
+            codec = self.codec_for(plan)
+            genuine_chunks = codec.encode(entry.payload)
+            out[True] = (genuine_chunks, MerkleTree(genuine_chunks))
+            tampered_payload = b"tampered:" + entry.payload
+            tampered_chunks = codec.encode(tampered_payload)
+            out[False] = (tampered_chunks, MerkleTree(tampered_chunks))
+        else:
+            genuine_root = digest(b"root:" + entry.digest)
+            tampered_root = digest(b"tampered-root:" + entry.digest)
+            out[True] = (None, genuine_root)
+            out[False] = (None, tampered_root)
+        return out
+
+    def _make_send_share(
+        self,
+        sender: "SimNode",
+        entry: LogEntry,
+        dst_gid: int,
+        plan: TransferPlan,
+        chunk_size: int,
+        encodings: Dict[bool, Tuple],
+    ):
+        def send_share() -> None:
+            if sender.network.wan_backlog(sender.addr) > self.stale_send_backlog:
+                self._count("chunks_skipped_stale")
+                return
+            genuine = not sender.byzantine
+            sender_index = sender.addr.index
+            cert_sent: Set[object] = set()
+            for assignment in plan.chunks_sent_by(sender_index):
+                receiver = self.members[dst_gid][assignment.receiver]
+                if self.coding == "real":
+                    chunks, tree = encodings[genuine]
+                    data = chunks[assignment.chunk]
+                    proof = tree.proof(assignment.chunk)
+                    root = tree.root
+                    size = len(data)
+                else:
+                    _, root = encodings[genuine]
+                    data = b""
+                    proof = None
+                    size = chunk_size
+                cert = 0 if receiver.addr in cert_sent else self.cert_size
+                cert_sent.add(receiver.addr)
+                msg = ChunkMessage(
+                    entry_id=entry.entry_id,
+                    root=root,
+                    chunk_id=assignment.chunk,
+                    data=data,
+                    data_size=size,
+                    proof=proof,
+                    n_data=plan.n_data,
+                    n_total=plan.n_total,
+                    cert_size=cert,
+                    genuine=genuine,
+                )
+                sender.send(receiver.addr, msg, msg.size_bytes)
+                self._count("wan_chunks")
+
+        return send_share
+
+    # -- receiver side -----------------------------------------------------
+
+    def _make_wan_handler(self, node: "SimNode"):
+        def handler(msg: Message) -> None:
+            chunk: ChunkMessage = msg.payload
+            # Byzantine receivers re-share tampered chunks instead of the
+            # ones they received (Fig 15's attack): handled in _ingest.
+            self._ingest(node, chunk, from_wan=True)
+
+        return handler
+
+    def _make_local_handler(self, node: "SimNode"):
+        def handler(msg: Message) -> None:
+            share: LocalChunkShare = msg.payload
+            chunk = ChunkMessage(
+                entry_id=share.entry_id,
+                root=share.root,
+                chunk_id=share.chunk_id,
+                data=share.data,
+                data_size=share.data_size,
+                proof=share.proof,
+                n_data=share.n_data,
+                n_total=share.n_total,
+                cert_size=0,
+                genuine=share.genuine,
+            )
+            self._ingest(node, chunk, from_wan=False)
+
+        return handler
+
+    def _ingest(self, node: "SimNode", chunk: ChunkMessage, from_wan: bool) -> None:
+        if (node.addr, chunk.entry_id) in self._delivered:
+            return
+        if from_wan:
+            if node.byzantine:
+                # A faulty receiver floods tampered chunks locally instead
+                # of forwarding what it received.
+                tampered = self._tampered_version(chunk)
+                self._share_locally(node, tampered)
+                return
+            self._share_locally(node, chunk)
+        if self.coding == "real":
+            self._ingest_real(node, chunk)
+        else:
+            self._ingest_simulated(node, chunk)
+
+    def _tampered_version(self, chunk: ChunkMessage) -> ChunkMessage:
+        if self.coding == "real":
+            entry = self.get_entry(chunk.entry_id)
+            codec = self.codec_for_counts(chunk.n_data, chunk.n_total)
+            tampered_chunks = codec.encode(b"tampered:" + entry.payload)
+            tree = MerkleTree(tampered_chunks)
+            return ChunkMessage(
+                entry_id=chunk.entry_id,
+                root=tree.root,
+                chunk_id=chunk.chunk_id,
+                data=tampered_chunks[chunk.chunk_id],
+                data_size=len(tampered_chunks[chunk.chunk_id]),
+                proof=tree.proof(chunk.chunk_id),
+                n_data=chunk.n_data,
+                n_total=chunk.n_total,
+                cert_size=0,
+                genuine=False,
+            )
+        entry = self.get_entry(chunk.entry_id)
+        return ChunkMessage(
+            entry_id=chunk.entry_id,
+            root=digest(b"tampered-root:" + entry.digest),
+            chunk_id=chunk.chunk_id,
+            data=b"",
+            data_size=chunk.data_size,
+            proof=None,
+            n_data=chunk.n_data,
+            n_total=chunk.n_total,
+            cert_size=0,
+            genuine=False,
+        )
+
+    def _share_locally(self, node: "SimNode", chunk: ChunkMessage) -> None:
+        share = LocalChunkShare(
+            entry_id=chunk.entry_id,
+            root=chunk.root,
+            chunk_id=chunk.chunk_id,
+            data=chunk.data,
+            data_size=chunk.data_size,
+            proof=chunk.proof,
+            n_data=chunk.n_data,
+            n_total=chunk.n_total,
+            genuine=chunk.genuine,
+        )
+        node.broadcast_local(share, share.size_bytes)
+
+    def _ingest_real(self, node: "SimNode", chunk: ChunkMessage) -> None:
+        key = (node.addr, chunk.entry_id)
+        rebuilder = self._rebuilders.get(key)
+        if rebuilder is None:
+            entry = self.get_entry(chunk.entry_id)
+            codec = self.codec_for_counts(chunk.n_data, chunk.n_total)
+            expected = entry.digest
+
+            def validator(payload: bytes) -> bool:
+                header = (
+                    f"entry:{chunk.entry_id.gid}:{chunk.entry_id.seq}:".encode("utf-8")
+                )
+                return digest(header + payload) == expected
+
+            rebuilder = OptimisticRebuilder(codec, validator)
+            self._rebuilders[key] = rebuilder
+        result = rebuilder.add_chunk(chunk.root, chunk.chunk_id, chunk.data, chunk.proof)
+        if result.ok:
+            cost = self.costs.rebuild_seconds(len(result.payload or b""))
+            entry_id = chunk.entry_id
+            node.consume_cpu(cost, lambda: self._finish(node, entry_id))
+        elif result.status == "failed":
+            self._count("rebuild_failures")
+
+    def codec_for_counts(self, n_data: int, n_total: int) -> ReedSolomonCodec:
+        key = (n_data, n_total)
+        codec = self._codecs.get(key)
+        if codec is None:
+            codec = ReedSolomonCodec(n_data, n_total - n_data)
+            self._codecs[key] = codec
+        return codec
+
+    def _ingest_simulated(self, node: "SimNode", chunk: ChunkMessage) -> None:
+        key = (node.addr, chunk.entry_id)
+        state = self._sim_state.get(key)
+        if state is None:
+            state = _SimRebuildState(n_data=chunk.n_data)
+            self._sim_state[key] = state
+        outcome = state.add(chunk.root, chunk.chunk_id, chunk.genuine)
+        if outcome == "rebuilt":
+            entry = self.get_entry(chunk.entry_id)
+            cost = self.costs.rebuild_seconds(entry.size_bytes)
+            entry_id = chunk.entry_id
+            node.consume_cpu(cost, lambda: self._finish(node, entry_id))
+        elif outcome == "failed":
+            self._count("rebuild_failures")
+
+    def _finish(self, node: "SimNode", entry_id: EntryId) -> None:
+        self._rebuilders.pop((node.addr, entry_id), None)
+        self._sim_state.pop((node.addr, entry_id), None)
+        self._deliver_once(node, entry_id)
+
+
+@dataclass
+class _SimRebuildState:
+    """Counting stand-in for :class:`OptimisticRebuilder` (simulated mode)."""
+
+    n_data: int
+    buckets: Dict[bytes, Set[int]] = field(default_factory=dict)
+    blacklisted: Set[int] = field(default_factory=set)
+    genuine_roots: Set[bytes] = field(default_factory=set)
+    failed_roots: Set[bytes] = field(default_factory=set)
+    done: bool = False
+
+    def add(self, root: bytes, chunk_id: int, genuine: bool) -> str:
+        if self.done:
+            return "duplicate"
+        if chunk_id in self.blacklisted or root in self.failed_roots:
+            return "rejected"
+        if genuine:
+            self.genuine_roots.add(root)
+        bucket = self.buckets.setdefault(root, set())
+        if chunk_id in bucket:
+            return "duplicate"
+        bucket.add(chunk_id)
+        if len(bucket) < self.n_data:
+            return "pending"
+        if root in self.genuine_roots:
+            self.done = True
+            return "rebuilt"
+        self.failed_roots.add(root)
+        self.blacklisted.update(bucket)
+        bucket.clear()
+        return "failed"

@@ -1,0 +1,75 @@
+"""Quorum certificates.
+
+A :class:`QuorumCertificate` aggregates 2f+1 matching signatures produced
+during local PBFT consensus (Section II-A). The certificate is what
+protects an entry against tampering during global replication: a Byzantine
+node can drop an entry or send garbage, but cannot fabricate a certificate
+binding a different entry to the same (group, sequence) slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable as HashableKey, Iterable, Tuple
+
+from repro.crypto.keystore import KeyStore
+from repro.crypto.signatures import SIGNATURE_SIZE, Signature
+
+
+@dataclass(frozen=True)
+class QuorumCertificate:
+    """A set of signatures from distinct signers over one statement.
+
+    ``statement`` is the exact byte string signed (typically
+    ``b"commit:" + entry_digest``); ``signatures`` maps signer identity to
+    its signature.
+    """
+
+    statement: bytes
+    signatures: Tuple[Tuple[HashableKey, Signature], ...]
+
+    @staticmethod
+    def assemble(
+        statement: bytes, signatures: Dict[HashableKey, Signature]
+    ) -> "QuorumCertificate":
+        """Build a certificate from a signer->signature mapping."""
+        ordered = tuple(sorted(signatures.items(), key=lambda kv: repr(kv[0])))
+        return QuorumCertificate(statement=statement, signatures=ordered)
+
+    @property
+    def signer_count(self) -> int:
+        return len(self.signatures)
+
+    @property
+    def signers(self) -> Tuple[HashableKey, ...]:
+        return tuple(identity for identity, _ in self.signatures)
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size: statement + (identity stub + signature) per signer."""
+        return len(self.statement) + self.signer_count * (8 + SIGNATURE_SIZE)
+
+    def verify(
+        self,
+        keystore: KeyStore,
+        quorum: int,
+        allowed_signers: Iterable[HashableKey] = (),
+    ) -> bool:
+        """Check the certificate carries >= ``quorum`` valid, distinct signatures.
+
+        If ``allowed_signers`` is non-empty, every signer must belong to it
+        (e.g. the membership of the group that ran the PBFT instance).
+        """
+        allowed = set(allowed_signers)
+        seen = set()
+        valid = 0
+        for identity, signature in self.signatures:
+            if identity in seen:
+                continue
+            if allowed and identity not in allowed:
+                return False
+            if not keystore.verify_from(identity, self.statement, signature):
+                return False
+            seen.add(identity)
+            valid += 1
+        return valid >= quorum

@@ -1,0 +1,78 @@
+"""Public-key infrastructure for the deployment.
+
+MassBFT assumes a PKI where every node owns a key pair and all public keys
+are known (Section III-A). :class:`KeyStore` plays the role of that PKI in
+the simulation: it generates per-node key pairs deterministically from a
+deployment seed, signs on behalf of a node, and verifies signatures
+against registered identities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable as HashableKey, Optional
+
+from repro.crypto.hashing import Hashable
+from repro.crypto.signatures import KeyPair, Signature, sign, verify
+
+
+class KeyStore:
+    """Maps node identities to key pairs; central sign/verify authority.
+
+    Identities are arbitrary hashable values — in practice
+    :class:`repro.sim.network.NodeAddress` instances.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._keys: Dict[HashableKey, KeyPair] = {}
+        self._by_public: Dict[bytes, HashableKey] = {}
+
+    def register(self, identity: HashableKey) -> KeyPair:
+        """Create (or return the existing) key pair for ``identity``."""
+        existing = self._keys.get(identity)
+        if existing is not None:
+            return existing
+        keypair = KeyPair.generate(seed=f"{self.seed}:{identity!r}".encode("utf-8"))
+        self._keys[identity] = keypair
+        self._by_public[keypair.public] = identity
+        return keypair
+
+    def public_key(self, identity: HashableKey) -> bytes:
+        keypair = self._keys.get(identity)
+        if keypair is None:
+            raise KeyError(f"identity {identity!r} is not registered")
+        return keypair.public
+
+    def identity_of(self, public: bytes) -> Optional[HashableKey]:
+        return self._by_public.get(public)
+
+    def sign_as(self, identity: HashableKey, message: Hashable) -> Signature:
+        """Sign ``message`` with ``identity``'s private key."""
+        keypair = self._keys.get(identity)
+        if keypair is None:
+            raise KeyError(f"identity {identity!r} is not registered")
+        return sign(keypair, message)
+
+    def verify_from(
+        self, identity: HashableKey, message: Hashable, signature: Signature
+    ) -> bool:
+        """Verify that ``signature`` is ``identity``'s signature over ``message``."""
+        keypair = self._keys.get(identity)
+        if keypair is None:
+            return False
+        return verify(keypair, message, signature)
+
+    def verify_any(self, message: Hashable, signature: Signature) -> Optional[HashableKey]:
+        """Verify a signature and return the signer identity, or None."""
+        identity = self._by_public.get(signature.signer)
+        if identity is None:
+            return None
+        if self.verify_from(identity, message, signature):
+            return identity
+        return None
+
+    def __contains__(self, identity: HashableKey) -> bool:
+        return identity in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)

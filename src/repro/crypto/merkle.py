@@ -1,0 +1,107 @@
+"""Merkle trees and inclusion proofs (Section IV-C).
+
+Used by the optimistic entry rebuild: each sender encodes an entry into
+chunks, builds a Merkle tree over them, and ships every chunk with its
+inclusion proof. Receivers bucket chunks by Merkle root — chunks sharing a
+root are guaranteed (up to collision resistance) to come from the same
+encoding — and can identify the leaf index of a fake chunk from its proof.
+
+The tree duplicates the last node at odd levels (Bitcoin-style), so any
+chunk count is supported. Leaf hashes are domain-separated from interior
+hashes to rule out second-preimage tricks between levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.crypto.hashing import DIGEST_SIZE, digest
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def _leaf_hash(data: bytes) -> bytes:
+    return digest(_LEAF_PREFIX + data)
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return digest(_NODE_PREFIX + left + right)
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """An inclusion proof: the leaf index plus sibling hashes root-ward.
+
+    ``path`` lists (sibling_hash, sibling_is_right) pairs from leaf level
+    to just below the root.
+    """
+
+    leaf_index: int
+    leaf_count: int
+    path: Tuple[Tuple[bytes, bool], ...]
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size: index + count + one digest per level."""
+        return 8 + len(self.path) * (DIGEST_SIZE + 1)
+
+    def compute_root(self, leaf_data: bytes) -> bytes:
+        """Fold the proof over ``leaf_data`` to obtain the implied root."""
+        node = _leaf_hash(leaf_data)
+        for sibling, sibling_is_right in self.path:
+            if sibling_is_right:
+                node = _node_hash(node, sibling)
+            else:
+                node = _node_hash(sibling, node)
+        return node
+
+    def verify(self, leaf_data: bytes, root: bytes) -> bool:
+        """True iff ``leaf_data`` at ``leaf_index`` is under ``root``."""
+        return self.compute_root(leaf_data) == root
+
+
+class MerkleTree:
+    """A Merkle tree over a sequence of byte-string leaves."""
+
+    def __init__(self, leaves: Sequence[bytes]) -> None:
+        if not leaves:
+            raise ValueError("MerkleTree requires at least one leaf")
+        self.leaf_count = len(leaves)
+        # levels[0] = leaf hashes, levels[-1] = [root]
+        self.levels: List[List[bytes]] = [[_leaf_hash(leaf) for leaf in leaves]]
+        while len(self.levels[-1]) > 1:
+            level = self.levels[-1]
+            parents = []
+            for i in range(0, len(level), 2):
+                left = level[i]
+                right = level[i + 1] if i + 1 < len(level) else level[i]
+                parents.append(_node_hash(left, right))
+            self.levels.append(parents)
+
+    @property
+    def root(self) -> bytes:
+        return self.levels[-1][0]
+
+    def proof(self, leaf_index: int) -> MerkleProof:
+        """Build the inclusion proof for the leaf at ``leaf_index``."""
+        if not 0 <= leaf_index < self.leaf_count:
+            raise IndexError(
+                f"leaf index {leaf_index} out of range [0, {self.leaf_count})"
+            )
+        path: List[Tuple[bytes, bool]] = []
+        index = leaf_index
+        for level in self.levels[:-1]:
+            if index % 2 == 0:
+                sibling_index = index + 1 if index + 1 < len(level) else index
+                path.append((level[sibling_index], True))
+            else:
+                path.append((level[index - 1], False))
+            index //= 2
+        return MerkleProof(
+            leaf_index=leaf_index, leaf_count=self.leaf_count, path=tuple(path)
+        )
+
+    def __len__(self) -> int:
+        return self.leaf_count

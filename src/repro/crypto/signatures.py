@@ -1,0 +1,84 @@
+"""Simulated ED25519-style signatures.
+
+The real system signs with ED25519. Inside a single-process simulation we
+do not need asymmetric hardness; we need the *behavioural contract*:
+
+* only the holder of a private key can produce a signature that verifies
+  under the matching public key;
+* a signature binds to the exact message bytes;
+* verification has a CPU cost (it is the dominant cost in the paper's
+  local consensus — Fig 11 and the Fig 13a plateau).
+
+We model key pairs as (secret, public) where ``public = H(secret)`` and a
+signature is ``HMAC-SHA256(secret, message)``. Verification recomputes the
+MAC — which requires the secret — so the :class:`repro.crypto.keystore.KeyStore`
+holds secrets and performs verification on behalf of all parties; protocol
+code only ever touches public keys and :class:`Signature` values. An
+adversary that does not hold a node's ``KeyPair`` object cannot forge: the
+secret is 32 random bytes that never leave the keystore.
+
+Wire/CPU costs: ED25519 signatures are 64 bytes; we report
+``SIGNATURE_SIZE = 64`` for bandwidth accounting, and the cost model in
+:mod:`repro.bench.harness` charges configurable microseconds per
+sign/verify.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass, field
+
+from repro.crypto.hashing import Hashable, _as_bytes
+
+#: Bytes a signature occupies on the wire (matches ED25519).
+SIGNATURE_SIZE = 64
+#: Bytes a public key occupies on the wire (matches ED25519).
+PUBLIC_KEY_SIZE = 32
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature over some message by some public key."""
+
+    signer: bytes  # public key
+    mac: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        return SIGNATURE_SIZE
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A signing key pair. Treat the ``secret`` field as private."""
+
+    secret: bytes
+    public: bytes
+
+    @staticmethod
+    def generate(seed: bytes = b"") -> "KeyPair":
+        """Create a key pair; ``seed`` makes generation deterministic."""
+        secret = hashlib.sha256(b"sk:" + (seed or os.urandom(32))).digest()
+        public = hashlib.sha256(b"pk:" + secret).digest()
+        return KeyPair(secret=secret, public=public)
+
+
+def sign(keypair: KeyPair, message: Hashable) -> Signature:
+    """Sign ``message`` with ``keypair``."""
+    mac = hmac.new(keypair.secret, _as_bytes(message), hashlib.sha256).digest()
+    return Signature(signer=keypair.public, mac=mac)
+
+
+def verify(keypair: KeyPair, message: Hashable, signature: Signature) -> bool:
+    """Check ``signature`` over ``message`` against ``keypair``.
+
+    Requires the key pair (i.e. the keystore); see the module docstring for
+    why this asymmetry-free scheme still gives the simulation the right
+    adversarial semantics.
+    """
+    if signature.signer != keypair.public:
+        return False
+    expected = hmac.new(keypair.secret, _as_bytes(message), hashlib.sha256).digest()
+    return hmac.compare_digest(expected, signature.mac)

@@ -1,0 +1,117 @@
+"""Matrix algebra over GF(2^8).
+
+Provides what the systematic Reed-Solomon construction needs: identity and
+Vandermonde builders, multiplication, row selection, and Gauss-Jordan
+inversion. Matrices are small (one row per chunk), so clarity wins over
+micro-optimisation here; the hot path (coding actual bytes) lives in
+:mod:`repro.erasure.reed_solomon`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.erasure.galois import GF256
+
+
+class Matrix:
+    """A dense matrix with GF(2^8) elements stored as lists of ints."""
+
+    def __init__(self, rows: Sequence[Sequence[int]]) -> None:
+        if not rows:
+            raise ValueError("matrix needs at least one row")
+        width = len(rows[0])
+        if width == 0:
+            raise ValueError("matrix needs at least one column")
+        for row in rows:
+            if len(row) != width:
+                raise ValueError("ragged matrix rows")
+            for value in row:
+                if not 0 <= value < GF256.ORDER:
+                    raise ValueError(f"element {value} outside GF(256)")
+        self.rows: List[List[int]] = [list(row) for row in rows]
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_cols(self) -> int:
+        return len(self.rows[0])
+
+    def __getitem__(self, index: int) -> List[int]:
+        return self.rows[index]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Matrix) and self.rows == other.rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Matrix({self.rows!r})"
+
+    @staticmethod
+    def identity(n: int) -> "Matrix":
+        return Matrix([[1 if i == j else 0 for j in range(n)] for i in range(n)])
+
+    @staticmethod
+    def vandermonde(n_rows: int, n_cols: int) -> "Matrix":
+        """Rows are powers of distinct field elements: row i = [i^0 ... i^(c-1)].
+
+        Any ``n_cols`` rows of this matrix are linearly independent as long
+        as row indices are distinct elements of the field, which bounds the
+        codec at 256 total chunks — the same bound as the Go library used
+        by the paper (256 shards).
+        """
+        if n_rows > GF256.ORDER:
+            raise ValueError(
+                f"Vandermonde over GF(256) supports at most 256 rows, got {n_rows}"
+            )
+        return Matrix(
+            [[GF256.pow(row, col) for col in range(n_cols)] for row in range(n_rows)]
+        )
+
+    def multiply(self, other: "Matrix") -> "Matrix":
+        if self.n_cols != other.n_rows:
+            raise ValueError(
+                f"dimension mismatch: {self.n_rows}x{self.n_cols} * "
+                f"{other.n_rows}x{other.n_cols}"
+            )
+        result = []
+        for row in self.rows:
+            out_row = []
+            for col in range(other.n_cols):
+                acc = 0
+                for k, coeff in enumerate(row):
+                    if coeff:
+                        acc ^= GF256.mul(coeff, other.rows[k][col])
+                out_row.append(acc)
+            result.append(out_row)
+        return Matrix(result)
+
+    def select_rows(self, indices: Sequence[int]) -> "Matrix":
+        """A new matrix made of the given rows, in the given order."""
+        return Matrix([self.rows[i] for i in indices])
+
+    def invert(self) -> "Matrix":
+        """Gauss-Jordan inversion; raises ValueError if singular."""
+        if self.n_rows != self.n_cols:
+            raise ValueError("only square matrices can be inverted")
+        n = self.n_rows
+        work = [list(row) + identity_row for row, identity_row in
+                zip(self.rows, Matrix.identity(n).rows)]
+        for col in range(n):
+            pivot_row = next(
+                (r for r in range(col, n) if work[r][col] != 0), None
+            )
+            if pivot_row is None:
+                raise ValueError("matrix is singular over GF(256)")
+            work[col], work[pivot_row] = work[pivot_row], work[col]
+            pivot_inv = GF256.inverse(work[col][col])
+            work[col] = [GF256.mul(pivot_inv, v) for v in work[col]]
+            for r in range(n):
+                if r != col and work[r][col] != 0:
+                    factor = work[r][col]
+                    work[r] = [
+                        v ^ GF256.mul(factor, work[col][c])
+                        for c, v in enumerate(work[r])
+                    ]
+        return Matrix([row[n:] for row in work])

@@ -1,0 +1,175 @@
+"""Systematic Reed-Solomon codec over GF(2^8).
+
+Construction (the one used by klauspost/reedsolomon, which the paper's
+implementation employs): take the ``n_total x n_data`` Vandermonde matrix,
+multiply by the inverse of its top ``n_data x n_data`` block. The result's
+top block is the identity — so the first ``n_data`` output chunks *are*
+the data chunks (systematic) — and any ``n_data`` rows remain invertible,
+so any ``n_data`` chunks reconstruct the message.
+
+A numpy fast path vectorises the GF multiply-accumulate with 256-entry
+lookup tables; a pure-Python fallback keeps the package dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.erasure.galois import GF256
+from repro.erasure.matrix import Matrix
+
+try:  # pragma: no cover - exercised implicitly by the environment
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+class ReedSolomonCodec:
+    """Encode/decode a message into ``n_data + n_parity`` chunks.
+
+    >>> codec = ReedSolomonCodec(n_data=3, n_parity=2)
+    >>> chunks = codec.encode_chunks([b"ab", b"cd", b"ef"])
+    >>> codec.decode_chunks({0: chunks[0], 3: chunks[3], 4: chunks[4]})
+    [b'ab', b'cd', b'ef']
+    """
+
+    def __init__(self, n_data: int, n_parity: int) -> None:
+        if n_data < 1:
+            raise ValueError(f"n_data must be >= 1, got {n_data}")
+        if n_parity < 0:
+            raise ValueError(f"n_parity must be >= 0, got {n_parity}")
+        if n_data + n_parity > GF256.ORDER:
+            raise ValueError(
+                "GF(256) Reed-Solomon supports at most 256 total chunks, got "
+                f"{n_data + n_parity}"
+            )
+        self.n_data = n_data
+        self.n_parity = n_parity
+        self.n_total = n_data + n_parity
+
+        vandermonde = Matrix.vandermonde(self.n_total, n_data)
+        top_inverse = vandermonde.select_rows(range(n_data)).invert()
+        self.encode_matrix = vandermonde.multiply(top_inverse)
+
+    # ------------------------------------------------------------------
+    # Row arithmetic (numpy fast path with pure-Python fallback)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _combine_rows(
+        coefficients: Sequence[int], rows: Sequence[bytes], length: int
+    ) -> bytes:
+        """Compute XOR_i mul(coefficients[i], rows[i]) over ``length`` bytes."""
+        if _np is not None:
+            acc = _np.zeros(length, dtype=_np.uint8)
+            for coeff, row in zip(coefficients, rows):
+                if coeff == 0:
+                    continue
+                arr = _np.frombuffer(row, dtype=_np.uint8)
+                if coeff == 1:
+                    acc ^= arr
+                else:
+                    table = _np.asarray(GF256.mul_table(coeff), dtype=_np.uint8)
+                    acc ^= table[arr]
+            return acc.tobytes()
+        acc_list = [0] * length
+        for coeff, row in zip(coefficients, rows):
+            if coeff == 0:
+                continue
+            if coeff == 1:
+                for i, b in enumerate(row):
+                    acc_list[i] ^= b
+            else:
+                table = GF256.mul_table(coeff)
+                for i, b in enumerate(row):
+                    acc_list[i] ^= table[b]
+        return bytes(acc_list)
+
+    # ------------------------------------------------------------------
+    # Chunk API
+    # ------------------------------------------------------------------
+
+    def encode_chunks(self, data_chunks: Sequence[bytes]) -> List[bytes]:
+        """Return all ``n_total`` chunks (data first, then parity)."""
+        if len(data_chunks) != self.n_data:
+            raise ValueError(
+                f"expected {self.n_data} data chunks, got {len(data_chunks)}"
+            )
+        length = len(data_chunks[0])
+        for chunk in data_chunks:
+            if len(chunk) != length:
+                raise ValueError("all data chunks must have equal length")
+        output = [bytes(chunk) for chunk in data_chunks]
+        for row_index in range(self.n_data, self.n_total):
+            coefficients = self.encode_matrix[row_index]
+            output.append(self._combine_rows(coefficients, data_chunks, length))
+        return output
+
+    def decode_chunks(self, available: Dict[int, bytes]) -> List[bytes]:
+        """Recover the ``n_data`` data chunks from any ``n_data`` chunks.
+
+        ``available`` maps chunk index (0..n_total-1) to chunk bytes; extra
+        chunks beyond ``n_data`` are ignored (lowest indices win, which
+        prefers the cheap systematic path). Raises ValueError when fewer
+        than ``n_data`` chunks are supplied, or on inconsistent sizes.
+
+        Note the Section IV-B caveat: decoding assumes the supplied chunks
+        are *correct*; feeding tampered chunks yields a wrong message. The
+        optimistic rebuild layer (:mod:`repro.core.rebuild`) is responsible
+        for grouping chunks by Merkle root before calling this.
+        """
+        if len(available) < self.n_data:
+            raise ValueError(
+                f"need {self.n_data} chunks to decode, got {len(available)}"
+            )
+        for index in available:
+            if not 0 <= index < self.n_total:
+                raise ValueError(f"chunk index {index} out of range")
+        lengths = {len(chunk) for chunk in available.values()}
+        if len(lengths) != 1:
+            raise ValueError("chunks have inconsistent sizes")
+        length = lengths.pop()
+
+        use_indices = sorted(available)[: self.n_data]
+        if use_indices == list(range(self.n_data)):
+            return [bytes(available[i]) for i in use_indices]
+
+        sub = self.encode_matrix.select_rows(use_indices)
+        decode_matrix = sub.invert()
+        rows = [available[i] for i in use_indices]
+        return [
+            self._combine_rows(decode_matrix[r], rows, length)
+            for r in range(self.n_data)
+        ]
+
+    # ------------------------------------------------------------------
+    # Message API
+    # ------------------------------------------------------------------
+
+    def encode(self, message: bytes) -> List[bytes]:
+        """Split ``message`` into data chunks (padding as needed) and encode.
+
+        The message length is prepended so :meth:`decode` can strip padding.
+        """
+        from repro.erasure.chunking import pad_to_chunks
+
+        return self.encode_chunks(pad_to_chunks(message, self.n_data))
+
+    def decode(self, available: Dict[int, bytes]) -> bytes:
+        """Inverse of :meth:`encode`: rebuild the original message."""
+        from repro.erasure.chunking import join_chunks
+
+        return join_chunks(self.decode_chunks(available))
+
+    def chunk_size_for(self, message_length: int) -> int:
+        """Size of each chunk produced by :meth:`encode` for a message."""
+        padded = message_length + 8  # length header
+        return (padded + self.n_data - 1) // self.n_data
+
+    @property
+    def overhead(self) -> float:
+        """Traffic amplification: total transmitted / useful data."""
+        return self.n_total / self.n_data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReedSolomonCodec(n_data={self.n_data}, n_parity={self.n_parity})"

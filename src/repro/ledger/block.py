@@ -1,0 +1,86 @@
+"""Blocks and per-group subchains.
+
+Each group concurrently generates a *subchain* of blocks from its own
+entries; MassBFT synchronizes the subchains into one globally ordered
+ledger (Section VI, Implementation). A block wraps one entry and chains
+to its predecessor by hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.entry import EntryId, LogEntry
+from repro.crypto.hashing import digest
+
+#: Hash of the (virtual) block before the first one in a chain.
+GENESIS_HASH = digest(b"repro:genesis")
+
+
+@dataclass(frozen=True)
+class Block:
+    """A subchain block: one entry plus chain linkage."""
+
+    gid: int
+    height: int
+    parent_hash: bytes
+    entry_id: EntryId
+    entry_digest: bytes
+
+    @property
+    def block_hash(self) -> bytes:
+        header = (
+            f"block:{self.gid}:{self.height}:".encode("utf-8")
+            + self.parent_hash
+            + self.entry_digest
+        )
+        return digest(header)
+
+
+class Subchain:
+    """Group ``G_i``'s chain of blocks, one per locally proposed entry."""
+
+    def __init__(self, gid: int) -> None:
+        self.gid = gid
+        self.blocks: List[Block] = []
+
+    @property
+    def height(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def tip_hash(self) -> bytes:
+        return self.blocks[-1].block_hash if self.blocks else GENESIS_HASH
+
+    def append_entry(self, entry: LogEntry) -> Block:
+        """Seal ``entry`` into the next block of this subchain."""
+        if entry.gid != self.gid:
+            raise ValueError(
+                f"entry from group {entry.gid} cannot join subchain of "
+                f"group {self.gid}"
+            )
+        expected_seq = self.height + 1
+        if entry.seq != expected_seq:
+            raise ValueError(
+                f"subchain {self.gid} expects seq {expected_seq}, "
+                f"got {entry.seq}"
+            )
+        block = Block(
+            gid=self.gid,
+            height=self.height,
+            parent_hash=self.tip_hash,
+            entry_id=entry.entry_id,
+            entry_digest=entry.digest,
+        )
+        self.blocks.append(block)
+        return block
+
+    def verify(self) -> bool:
+        """Check hash linkage over the whole subchain."""
+        parent = GENESIS_HASH
+        for height, block in enumerate(self.blocks):
+            if block.height != height or block.parent_hash != parent:
+                return False
+            parent = block.block_hash
+        return True

@@ -1,0 +1,80 @@
+"""The globally ordered ledger.
+
+Consumes the orderer's execution sequence: entries from all subchains,
+interleaved in the agreed total order, chained by hash so two replicas
+can compare ledgers with a single digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.entry import EntryId, LogEntry
+from repro.crypto.hashing import digest
+from repro.ledger.block import GENESIS_HASH, Block, Subchain
+
+
+@dataclass(frozen=True)
+class LedgerRecord:
+    """One position in the global order."""
+
+    position: int
+    entry_id: EntryId
+    entry_digest: bytes
+    ledger_hash: bytes
+
+
+class GlobalLedger:
+    """Hash-chained record of the global execution order.
+
+    Also maintains the per-group subchains, so both the paper's views
+    exist: "each group generates a subchain" and "blocks are synchronized
+    into a single, globally ordered ledger".
+    """
+
+    def __init__(self, n_groups: int) -> None:
+        self.subchains: Dict[int, Subchain] = {
+            gid: Subchain(gid) for gid in range(n_groups)
+        }
+        self.records: List[LedgerRecord] = []
+
+    @property
+    def height(self) -> int:
+        return len(self.records)
+
+    @property
+    def tip_hash(self) -> bytes:
+        return self.records[-1].ledger_hash if self.records else GENESIS_HASH
+
+    def append(self, entry: LogEntry) -> LedgerRecord:
+        """Record ``entry`` at the next global position.
+
+        The entry also extends its group's subchain; subchain sequence
+        gaps are protocol bugs and raise immediately.
+        """
+        self.subchains[entry.gid].append_entry(entry)
+        ledger_hash = digest(
+            f"ledger:{self.height}:".encode("utf-8")
+            + self.tip_hash
+            + entry.digest
+        )
+        record = LedgerRecord(
+            position=self.height,
+            entry_id=entry.entry_id,
+            entry_digest=entry.digest,
+            ledger_hash=ledger_hash,
+        )
+        self.records.append(record)
+        return record
+
+    def order(self) -> List[EntryId]:
+        """The executed entry ids, in global order."""
+        return [record.entry_id for record in self.records]
+
+    def matches(self, other: "GlobalLedger") -> bool:
+        """True when the common prefix of two ledgers is identical."""
+        n = min(self.height, other.height)
+        if n == 0:
+            return True
+        return self.records[n - 1].ledger_hash == other.records[n - 1].ledger_hash

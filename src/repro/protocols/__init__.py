@@ -1,0 +1,35 @@
+"""Protocol deployments: MassBFT and every competitor, one codebase.
+
+Exactly like the paper's evaluation (Section VI implements Steward,
+GeoBFT, ISS and Baseline "under the same codebase with MassBFT"), every
+protocol here is a :class:`repro.protocols.base.ProtocolSpec` — a choice
+of replication transport, global consensus style, and ordering — executed
+by the shared :class:`repro.protocols.base.GeoDeployment` runtime.
+"""
+
+from repro.protocols.base import GeoDeployment, GeoNode, GroupRuntime, ProtocolSpec
+from repro.protocols.registry import (
+    baseline,
+    br,
+    ebr,
+    geobft,
+    iss,
+    massbft,
+    protocol_by_name,
+    steward,
+)
+
+__all__ = [
+    "GeoDeployment",
+    "GeoNode",
+    "GroupRuntime",
+    "ProtocolSpec",
+    "baseline",
+    "br",
+    "ebr",
+    "geobft",
+    "iss",
+    "massbft",
+    "protocol_by_name",
+    "steward",
+]

@@ -1,0 +1,166 @@
+"""The simulation event loop.
+
+:class:`Simulator` owns simulated time and the event queue. Protocol code
+never sleeps or spins; it schedules callbacks (:meth:`Simulator.schedule`)
+and timers (:meth:`Simulator.set_timer`) and reacts to message-delivery
+events injected by :class:`repro.sim.network.Network`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.sim.events import Event, EventQueue
+
+
+class Timer:
+    """A cancellable, optionally repeating timer bound to a simulator.
+
+    Created through :meth:`Simulator.set_timer`. ``cancel()`` is safe to
+    call at any point, including from within the timer callback itself.
+    """
+
+    __slots__ = ("_sim", "_callback", "_interval", "_event", "_active")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        delay: float,
+        callback: Callable[[], None],
+        interval: Optional[float] = None,
+    ) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._interval = interval
+        self._active = True
+        self._event = sim.schedule(delay, self._fire)
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def _fire(self) -> None:
+        if not self._active:
+            return
+        if self._interval is not None:
+            self._event = self._sim.schedule(self._interval, self._fire)
+        else:
+            self._active = False
+        self._callback()
+
+    def cancel(self) -> None:
+        self._active = False
+        self._event.cancel()
+
+    def reset(self, delay: Optional[float] = None) -> None:
+        """Restart the countdown (e.g. a Raft election timeout on heartbeat)."""
+        self._event.cancel()
+        self._active = True
+        self._event = self._sim.schedule(
+            self._interval if delay is None else delay, self._fire
+        )
+
+
+class Simulator:
+    """Discrete-event simulator with deterministic execution order.
+
+    Typical driving loop::
+
+        sim = Simulator()
+        sim.schedule(0.0, boot)
+        sim.run(until=10.0)      # run 10 simulated seconds
+
+    The simulator also supports *stop conditions* used by benchmarks (stop
+    once N transactions have committed) via :meth:`stop`.
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+        self._shutdown_hooks: List[Callable[[], None]] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self._queue.push(self._now + delay, callback, args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Run ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        return self._queue.push(time, callback, args)
+
+    def set_timer(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        interval: Optional[float] = None,
+    ) -> Timer:
+        """Create a one-shot (or repeating, if ``interval`` is given) timer."""
+        return Timer(self, delay, callback, interval)
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight event returns."""
+        self._stopped = True
+
+    def add_shutdown_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callable invoked once when a run finishes."""
+        self._shutdown_hooks.append(hook)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Process events until the queue drains, ``until`` passes, or stop().
+
+        Returns the simulated time at which the run ended. Time advances to
+        ``until`` even if the queue drains earlier, so rate computations
+        (txns / elapsed) stay well-defined.
+        """
+        if self._running:
+            raise RuntimeError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        processed_this_run = 0
+        try:
+            while not self._stopped:
+                if max_events is not None and processed_this_run >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                if event is None:
+                    break
+                self._now = event.time
+                event.fire()
+                self.events_processed += 1
+                processed_this_run += 1
+            if until is not None and self._now < until and not self._stopped:
+                self._now = until
+        finally:
+            self._running = False
+            for hook in self._shutdown_hooks:
+                hook()
+            self._shutdown_hooks.clear()
+        return self._now
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        """Run until no events remain. Guards against runaway loops."""
+        return self.run(max_events=max_events)

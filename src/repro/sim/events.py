@@ -1,0 +1,104 @@
+"""Event primitives for the discrete-event simulator.
+
+An :class:`Event` is a callback scheduled at a simulated time. Events are
+totally ordered by ``(time, seq)`` where ``seq`` is a monotonically
+increasing tie-breaker, so two events scheduled for the same instant fire
+in scheduling order. This determinism matters: every experiment in the
+benchmark suite must be exactly reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional, Tuple
+
+
+class Event:
+    """A scheduled callback.
+
+    Events should be created through :meth:`EventQueue.push` (or the
+    higher-level :meth:`repro.sim.core.Simulator.schedule`) rather than
+    directly. Cancelling an event is O(1): the event is flagged and skipped
+    when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event so it will be skipped when its time comes."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (no-op if cancelled)."""
+        if not self.cancelled:
+            self.callback(*self.args)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {name}{state})"
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects.
+
+    Thin wrapper over :mod:`heapq` that owns the sequence counter used for
+    deterministic FIFO tie-breaking.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time`` and return the event."""
+        if time < 0:
+            raise ValueError(f"cannot schedule event at negative time {time}")
+        event = Event(time, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the earliest pending event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()

@@ -1,0 +1,364 @@
+"""Geo-distributed network model.
+
+The model mirrors the paper's testbed (Section VI):
+
+* nodes in the same group share a data center and talk over a fast LAN
+  (default 2.5 Gbps, sub-millisecond latency);
+* every node owns an *exclusive* WAN attachment with limited bandwidth
+  (default 20 Mbps) used for all inter-group traffic;
+* inter-group propagation latency comes from an RTT matrix (nationwide:
+  26.7-43.4 ms, worldwide: 156-206 ms).
+
+Bandwidth is modeled with serialization queues (:class:`ResourceQueue`):
+a message occupies the sender's outbound NIC for ``size/bandwidth`` seconds,
+then incurs one-way propagation latency, then occupies the receiver's
+inbound NIC. This queueing — not a closed-form formula — is what produces
+the leader-bottleneck collapse of Fig 1b/13a and the aggregate-bandwidth
+scaling of MassBFT.
+
+The network also provides failure injection: message loss, group
+partitions, and per-node crash/bandwidth overrides (Fig 14, Fig 15).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.core import Simulator
+from repro.sim.monitor import StatMonitor
+from repro.sim.rng import RngRegistry
+
+#: Default LAN bandwidth within a data center (bits/second): 2.5 Gbps.
+DEFAULT_LAN_BANDWIDTH = 2.5e9
+#: Default exclusive WAN bandwidth per node (bits/second): 20 Mbps.
+DEFAULT_WAN_BANDWIDTH = 20e6
+#: Default one-way LAN latency (seconds).
+DEFAULT_LAN_LATENCY = 0.00025
+
+
+@dataclass(frozen=True, order=True)
+class NodeAddress:
+    """Identifies node ``N_{group,index}`` in the deployment."""
+
+    group: int
+    index: int
+
+    def __repr__(self) -> str:
+        return f"N{self.group}.{self.index}"
+
+
+@dataclass
+class Message:
+    """A message in flight.
+
+    ``payload`` is an arbitrary protocol object; ``size_bytes`` is the wire
+    size used for bandwidth accounting (protocol messages compute it from
+    their contents, see :func:`repro.consensus.messages.wire_size`).
+    """
+
+    src: NodeAddress
+    dst: NodeAddress
+    payload: Any
+    size_bytes: int
+    msg_id: int = 0
+    sent_at: float = 0.0
+
+    @property
+    def kind(self) -> str:
+        return type(self.payload).__name__
+
+
+@dataclass
+class LinkQuality:
+    """Stochastic quality of a link class (loss and jitter)."""
+
+    loss_probability: float = 0.0
+    jitter: float = 0.0
+
+
+class ResourceQueue:
+    """A serialized resource: a NIC or a CPU core.
+
+    Work items occupy the resource one after another. ``acquire`` returns
+    the (start, finish) interval for a job submitted now; the queue also
+    tracks total busy time for utilization reports.
+    """
+
+    __slots__ = ("name", "rate", "next_free", "busy_time", "jobs")
+
+    def __init__(self, name: str, rate: float) -> None:
+        """``rate`` is in units/second (bits/s for NICs, seconds of work
+        per second — i.e. 1.0 — for CPU queues)."""
+        if rate <= 0:
+            raise ValueError(f"resource rate must be positive, got {rate}")
+        self.name = name
+        self.rate = rate
+        self.next_free = 0.0
+        self.busy_time = 0.0
+        self.jobs = 0
+
+    def acquire(self, now: float, amount: float) -> Tuple[float, float]:
+        """Occupy the resource for ``amount`` units starting no earlier than now."""
+        duration = amount / self.rate
+        start = max(now, self.next_free)
+        finish = start + duration
+        self.next_free = finish
+        self.busy_time += duration
+        self.jobs += 1
+        return start, finish
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` this resource spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+    def backlog(self, now: float) -> float:
+        """Seconds of queued work not yet completed."""
+        return max(0.0, self.next_free - now)
+
+
+class Network:
+    """Routes messages between registered nodes with bandwidth + latency.
+
+    Nodes register a delivery callback via :meth:`register`. The network
+    owns three :class:`ResourceQueue` instances per node (LAN, WAN-up,
+    WAN-down) plus failure state (crashed nodes, partitioned groups).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rtt_matrix: Dict[Tuple[int, int], float],
+        lan_bandwidth: float = DEFAULT_LAN_BANDWIDTH,
+        wan_bandwidth: float = DEFAULT_WAN_BANDWIDTH,
+        lan_latency: float = DEFAULT_LAN_LATENCY,
+        wan_quality: Optional[LinkQuality] = None,
+        lan_quality: Optional[LinkQuality] = None,
+        rng: Optional[RngRegistry] = None,
+        monitor: Optional[StatMonitor] = None,
+        limit_downstream: bool = False,
+    ) -> None:
+        """``rtt_matrix`` maps unordered group pairs (i, j) with i < j to
+        round-trip times in seconds; one-way latency is RTT/2."""
+        self.sim = sim
+        self.rtt_matrix = dict(rtt_matrix)
+        self.lan_bandwidth = lan_bandwidth
+        self.default_wan_bandwidth = wan_bandwidth
+        self.lan_latency = lan_latency
+        self.wan_quality = wan_quality or LinkQuality()
+        self.lan_quality = lan_quality or LinkQuality()
+        self.monitor = monitor or StatMonitor()
+        #: Cloud WAN caps apply to egress; ingress is typically not the
+        #: contended resource (set True to serialize the receive NIC too).
+        self.limit_downstream = limit_downstream
+        self._rng = (rng or RngRegistry()).stream("network")
+        self._msg_ids = itertools.count(1)
+
+        self._handlers: Dict[NodeAddress, Callable[[Message], None]] = {}
+        self._lan_up: Dict[NodeAddress, ResourceQueue] = {}
+        self._wan_up: Dict[NodeAddress, ResourceQueue] = {}
+        self._wan_ctl: Dict[NodeAddress, ResourceQueue] = {}
+        self._wan_down: Dict[NodeAddress, ResourceQueue] = {}
+        self._crashed: set = set()
+        self._partitioned_groups: set = set()
+
+        # Traffic accounting (bytes), used by the Fig 10 experiment.
+        self.wan_bytes_by_node: Dict[NodeAddress, int] = {}
+        self.wan_bytes_total = 0
+        self.lan_bytes_total = 0
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        addr: NodeAddress,
+        handler: Callable[[Message], None],
+        wan_bandwidth: Optional[float] = None,
+    ) -> None:
+        """Attach a node; ``handler`` receives delivered messages."""
+        if addr in self._handlers:
+            raise ValueError(f"node {addr} already registered")
+        wan = wan_bandwidth if wan_bandwidth is not None else self.default_wan_bandwidth
+        self._handlers[addr] = handler
+        self._lan_up[addr] = ResourceQueue(f"{addr}.lan_up", self.lan_bandwidth)
+        self._wan_up[addr] = ResourceQueue(f"{addr}.wan_up", wan)
+        # Priority lane for small control messages (consensus votes,
+        # commit notices): real stacks fair-share flows, so sub-KB control
+        # traffic never sits behind half a second of bulk data.
+        self._wan_ctl[addr] = ResourceQueue(f"{addr}.wan_ctl", wan)
+        self._wan_down[addr] = ResourceQueue(f"{addr}.wan_down", wan)
+        self.wan_bytes_by_node[addr] = 0
+
+    def set_node_bandwidth(self, addr: NodeAddress, wan_bandwidth: float) -> None:
+        """Change a node's WAN bandwidth (heterogeneous-bandwidth runs, Fig 14).
+
+        Only affects messages submitted after the change.
+        """
+        self._require_registered(addr)
+        self._wan_up[addr].rate = wan_bandwidth
+        self._wan_ctl[addr].rate = wan_bandwidth
+        self._wan_down[addr].rate = wan_bandwidth
+
+    def nodes(self) -> List[NodeAddress]:
+        return sorted(self._handlers)
+
+    def group_members(self, group: int) -> List[NodeAddress]:
+        return sorted(a for a in self._handlers if a.group == group)
+
+    def _require_registered(self, addr: NodeAddress) -> None:
+        if addr not in self._handlers:
+            raise KeyError(f"node {addr} is not registered")
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+
+    def crash_node(self, addr: NodeAddress) -> None:
+        """Silently drop all traffic to/from ``addr`` from now on."""
+        self._require_registered(addr)
+        self._crashed.add(addr)
+
+    def recover_node(self, addr: NodeAddress) -> None:
+        self._crashed.discard(addr)
+
+    def crash_group(self, group: int) -> None:
+        """Simulate a data center outage (Fig 15 group failure)."""
+        for addr in self.group_members(group):
+            self._crashed.add(addr)
+
+    def recover_group(self, group: int) -> None:
+        for addr in self.group_members(group):
+            self._crashed.discard(addr)
+
+    def is_crashed(self, addr: NodeAddress) -> bool:
+        return addr in self._crashed
+
+    def partition_group(self, group: int) -> None:
+        """Cut WAN connectivity for a group (its LAN keeps working)."""
+        self._partitioned_groups.add(group)
+
+    def heal_partition(self, group: int) -> None:
+        self._partitioned_groups.discard(group)
+
+    # ------------------------------------------------------------------
+    # Latency model
+    # ------------------------------------------------------------------
+
+    def one_way_latency(self, src_group: int, dst_group: int) -> float:
+        """One-way propagation delay between two groups (RTT/2)."""
+        if src_group == dst_group:
+            return self.lan_latency
+        key = (min(src_group, dst_group), max(src_group, dst_group))
+        rtt = self.rtt_matrix.get(key)
+        if rtt is None:
+            raise KeyError(f"no RTT configured for group pair {key}")
+        return rtt / 2.0
+
+    # ------------------------------------------------------------------
+    # Message transmission
+    # ------------------------------------------------------------------
+
+    def send(
+        self,
+        src: NodeAddress,
+        dst: NodeAddress,
+        payload: Any,
+        size_bytes: int,
+        priority: bool = False,
+    ) -> Optional[Message]:
+        """Transmit ``payload`` from ``src`` to ``dst``.
+
+        Returns the in-flight :class:`Message`, or None if it was dropped at
+        submission time (crashed sender). Losses on the wire still consume
+        sender bandwidth, as in reality.
+        """
+        self._require_registered(src)
+        self._require_registered(dst)
+        if size_bytes < 0:
+            raise ValueError("message size must be non-negative")
+        if src in self._crashed:
+            return None
+
+        now = self.sim.now
+        msg = Message(src, dst, payload, size_bytes, next(self._msg_ids), now)
+        bits = size_bytes * 8
+
+        if src.group == dst.group:
+            quality = self.lan_quality
+            _, tx_done = self._lan_up[src].acquire(now, bits)
+            latency = self.lan_latency
+            self.lan_bytes_total += size_bytes
+            arrival = tx_done + latency
+            deliver_at = arrival  # LAN inbound capacity is not a bottleneck
+        else:
+            quality = self.wan_quality
+            if src.group in self._partitioned_groups or dst.group in self._partitioned_groups:
+                return msg  # swallowed by the partition
+            lane = self._wan_ctl[src] if priority else self._wan_up[src]
+            _, tx_done = lane.acquire(now, bits)
+            latency = self.one_way_latency(src.group, dst.group)
+            self.wan_bytes_by_node[src] += size_bytes
+            self.wan_bytes_total += size_bytes
+            arrival = tx_done + latency
+            if self.limit_downstream:
+                _, deliver_at = self._wan_down[dst].acquire(arrival, bits)
+            else:
+                deliver_at = arrival
+
+        if quality.loss_probability > 0 and self._rng.random() < quality.loss_probability:
+            self.monitor.counter("network.dropped").add()
+            return msg
+        if quality.jitter > 0:
+            deliver_at += self._rng.random() * quality.jitter
+
+        self.sim.schedule_at(deliver_at, self._deliver, msg)
+        return msg
+
+    def broadcast_group(
+        self,
+        src: NodeAddress,
+        group: int,
+        payload: Any,
+        size_bytes: int,
+        include_self: bool = False,
+    ) -> int:
+        """Send ``payload`` to every member of ``group``; returns fan-out."""
+        count = 0
+        for addr in self.group_members(group):
+            if addr == src and not include_self:
+                continue
+            self.send(src, addr, payload, size_bytes)
+            count += 1
+        return count
+
+    def _deliver(self, msg: Message) -> None:
+        if msg.dst in self._crashed or msg.src in self._crashed:
+            return
+        handler = self._handlers.get(msg.dst)
+        if handler is not None:
+            handler(msg)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def wan_utilization(self, addr: NodeAddress, elapsed: float) -> float:
+        return self._wan_up[addr].utilization(elapsed)
+
+    def wan_backlog(self, addr: NodeAddress) -> float:
+        return self._wan_up[addr].backlog(self.sim.now)
+
+    def wan_bytes_sent(self, addr: NodeAddress) -> int:
+        return self.wan_bytes_by_node.get(addr, 0)
+
+    def reset_traffic_accounting(self) -> None:
+        """Zero the byte counters (used between warmup and measurement)."""
+        self.wan_bytes_total = 0
+        self.lan_bytes_total = 0
+        for addr in self.wan_bytes_by_node:
+            self.wan_bytes_by_node[addr] = 0

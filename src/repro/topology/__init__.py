@@ -1,0 +1,19 @@
+"""Deployment topologies: cluster/group/node configuration and the
+paper's two physical environments (nationwide and worldwide Aliyun
+clusters) as presets.
+"""
+
+from repro.topology.cluster import ClusterConfig, GroupConfig
+from repro.topology.presets import (
+    nationwide_cluster,
+    scaled_cluster,
+    worldwide_cluster,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "GroupConfig",
+    "nationwide_cluster",
+    "scaled_cluster",
+    "worldwide_cluster",
+]

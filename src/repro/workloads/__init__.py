@@ -1,0 +1,36 @@
+"""OLTP workloads (Section VI): YCSB, SmallBank, TPC-C.
+
+Each workload provides transaction generation (for the benchmark clients)
+and execution logic (for the Aria executor), configured with the paper's
+parameters: YCSB over a 10-column, 1,000,000-row table with Zipf(0.99)
+access; SmallBank over 1,000,000 uniformly accessed accounts; TPC-C with
+128 warehouses and a 50/50 NewOrder/Payment mix.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.smallbank import SmallBankWorkload
+from repro.workloads.tpcc import TpccWorkload
+from repro.workloads.ycsb import YcsbWorkload
+from repro.workloads.zipf import ZipfGenerator
+
+__all__ = [
+    "SmallBankWorkload",
+    "TpccWorkload",
+    "Workload",
+    "YcsbWorkload",
+    "ZipfGenerator",
+]
+
+
+def make_workload(name: str, **kwargs) -> Workload:
+    """Factory by paper workload name: ycsb-a, ycsb-b, smallbank, tpcc."""
+    lowered = name.lower()
+    if lowered in ("ycsb-a", "ycsb_a", "ycsba"):
+        return YcsbWorkload(read_fraction=0.5, **kwargs)
+    if lowered in ("ycsb-b", "ycsb_b", "ycsbb"):
+        return YcsbWorkload(read_fraction=0.95, **kwargs)
+    if lowered == "smallbank":
+        return SmallBankWorkload(**kwargs)
+    if lowered in ("tpcc", "tpc-c"):
+        return TpccWorkload(**kwargs)
+    raise ValueError(f"unknown workload {name!r}")

@@ -1,0 +1,48 @@
+"""Workload interface.
+
+A workload knows how to (a) populate the initial database state, (b)
+generate client transactions, and (c) execute each transaction kind
+against a :class:`repro.ledger.state.KVStore` (registered into the Aria
+executor). Generation is deterministic given the RNG stream.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict
+
+from repro.ledger.execution import AriaExecutor, TxLogic
+from repro.ledger.state import KVStore
+from repro.ledger.transactions import Transaction
+
+
+class Workload(abc.ABC):
+    """Base class for benchmark workloads."""
+
+    #: Short identifier used in reports ("ycsb-a", "tpcc", ...).
+    name: str = "workload"
+
+    @abc.abstractmethod
+    def populate(self, store: KVStore) -> None:
+        """Load the initial table contents into ``store``."""
+
+    @abc.abstractmethod
+    def generate(self, rng: random.Random, now: float = 0.0) -> Transaction:
+        """Produce one client transaction stamped with submission time."""
+
+    @abc.abstractmethod
+    def logic(self) -> Dict[str, TxLogic]:
+        """Execution functions per transaction kind (for full execution)."""
+
+    def register(self, executor: AriaExecutor) -> None:
+        """Attach this workload's execution logic to an executor."""
+        for kind, fn in self.logic().items():
+            executor.register_logic(kind, fn)
+
+    def average_tx_size(self, rng: random.Random, samples: int = 500) -> float:
+        """Empirical mean wire size of generated transactions."""
+        total = 0
+        for _ in range(samples):
+            total += self.generate(rng).size_bytes
+        return total / samples

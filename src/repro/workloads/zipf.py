@@ -1,0 +1,62 @@
+"""Zipfian key sampling.
+
+YCSB's request distribution: key rank ``r`` (1-based) is drawn with
+probability proportional to ``1 / r^theta``. Uses the classic YCSB/Gray
+"scrambled zipfian" construction: an exact inverse-CDF sampler over the
+harmonic weights, computed with the standard zeta incremental formulas so
+construction is O(1) memory and sampling is O(1) (rejection-inversion,
+Hormann & Derflinger).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+
+class ZipfGenerator:
+    """Draws integers in ``[0, n)`` with Zipf(theta) rank frequencies.
+
+    Implements YCSB's ZipfianGenerator algorithm (itself from Gray et
+    al., "Quickly generating billion-record synthetic databases"):
+    constant-time sampling with no per-key tables, exact for any n.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99, rng: Optional[random.Random] = None) -> None:
+        if n < 1:
+            raise ValueError(f"need at least one item, got {n}")
+        if not 0.0 < theta < 1.0:
+            raise ValueError(f"theta must be in (0, 1), got {theta}")
+        self.n = n
+        self.theta = theta
+        self.rng = rng or random.Random()
+
+        self.alpha = 1.0 / (1.0 - theta)
+        self.zetan = self._zeta(n, theta)
+        self.zeta2 = self._zeta(2, theta)
+        self.eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (
+            1.0 - self.zeta2 / self.zetan
+        )
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        """Generalized harmonic number H_{n,theta}."""
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def sample(self) -> int:
+        """One draw: 0 is the hottest rank."""
+        u = self.rng.random()
+        uz = u * self.zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.n * (self.eta * u - self.eta + 1.0) ** self.alpha)
+
+    def sample_scrambled(self, space: Optional[int] = None) -> int:
+        """Spread hot ranks over the key space (YCSB's scrambled zipfian),
+        so hotspots are not all clustered at low key ids."""
+        space = space or self.n
+        rank = self.sample()
+        return (rank * 0x9E3779B97F4A7C15 + 0x7F4A7C15) % space

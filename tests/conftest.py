@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs import CostModel
+from repro.crypto.keystore import KeyStore
+from repro.sim.core import Simulator
+from repro.sim.network import Network, NodeAddress
+from repro.sim.node import SimNode
+from repro.topology.cluster import ClusterConfig, GroupConfig
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def network(sim: Simulator) -> Network:
+    """A 3-group network with 30 ms RTTs everywhere."""
+    rtts = {(i, j): 0.030 for i in range(3) for j in range(i + 1, 3)}
+    return Network(sim, rtt_matrix=rtts)
+
+
+@pytest.fixture
+def keystore() -> KeyStore:
+    return KeyStore(seed=42)
+
+
+def make_group(sim: Simulator, network: Network, gid: int, n: int):
+    """Create n plain SimNodes in group gid."""
+    return [SimNode(sim, network, NodeAddress(gid, i)) for i in range(n)]
+
+
+def tiny_cluster(sizes=(4, 4, 4), wan_bandwidth: float = 20e6) -> ClusterConfig:
+    """A small test cluster with uniform 20 ms RTTs."""
+    groups = [GroupConfig(gid=i, n_nodes=n) for i, n in enumerate(sizes)]
+    rtts = {
+        (i, j): 0.020
+        for i in range(len(sizes))
+        for j in range(i + 1, len(sizes))
+    }
+    return ClusterConfig(
+        groups=groups, rtt_matrix=rtts, wan_bandwidth=wan_bandwidth, name="tiny"
+    )
+
+
+def fast_costs() -> CostModel:
+    """A cost model with cheap crypto, for protocol-logic tests."""
+    return CostModel(
+        tx_verify_seconds=1e-6,
+        sign_seconds=1e-7,
+        sig_verify_seconds=1e-7,
+        tx_execute_seconds=1e-6,
+    )

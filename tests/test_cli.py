@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestPlanCommand:
+    def test_prints_paper_case_study(self, capsys):
+        assert main(["plan", "4", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "28" in out  # n_total
+        assert "2.154" in out  # overhead 28/13
+
+    def test_assignments_listing(self, capsys):
+        main(["plan", "4", "7", "--assignments"])
+        out = capsys.readouterr().out
+        assert "N1.0" in out and "N2.6" in out
+        # 28 assignment rows plus headers.
+        assert out.count("N1.") >= 28
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            main(["plan", "0", "7"])
+
+
+class TestRunCommand:
+    def test_small_run(self, capsys):
+        code = main(
+            [
+                "run",
+                "--protocol", "geobft",
+                "--nodes", "4",
+                "--load", "1500",
+                "--duration", "1.0",
+                "--warmup", "0.25",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "ktps" in out
+
+    def test_breakdown_flag(self, capsys):
+        main(
+            [
+                "run",
+                "--protocol", "massbft",
+                "--nodes", "4",
+                "--load", "1500",
+                "--duration", "1.0",
+                "--warmup", "0.25",
+                "--breakdown",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "global_replication" in out
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--protocol", "warp-speed"])
+
+
+class TestCompareCommand:
+    def test_two_protocols(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--protocols", "geobft,steward",
+                "--nodes", "4",
+                "--load", "1500",
+                "--duration", "1.0",
+                "--warmup", "0.25",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "geobft" in out and "steward" in out
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "massbft"
+        assert args.workload == "ycsb-a"
+        assert args.cluster == "nationwide"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,215 @@
+"""Tests for the standalone Raft and Paxos substrates."""
+
+import pytest
+
+from repro.consensus.paxos import MultiPaxos, PaxosAcceptor, PaxosProposer
+from repro.consensus.raft import RaftConfig, RaftNode, Role
+from repro.sim.core import Simulator
+from repro.sim.network import Network, NodeAddress
+from repro.sim.node import SimNode
+
+
+class RaftHarness:
+    def __init__(self, n=5):
+        self.sim = Simulator()
+        self.net = Network(self.sim, rtt_matrix={})
+        members = tuple(NodeAddress(0, i) for i in range(n))
+        self.nodes = [SimNode(self.sim, self.net, a) for a in members]
+        self.applied = {a: [] for a in members}
+        config = RaftConfig(members=members)
+        self.rafts = [
+            RaftNode(
+                node,
+                config,
+                on_apply=lambda i, c, a=node.addr: self.applied[a].append(c),
+            )
+            for node in self.nodes
+        ]
+
+    def elect(self):
+        self.sim.run(until=1.0)
+        leaders = [r for r in self.rafts if r.is_leader and not r.node.crashed]
+        assert len(leaders) == 1
+        return leaders[0]
+
+    def live_logs(self):
+        return [
+            self.applied[r.node.addr]
+            for r in self.rafts
+            if not r.node.crashed
+        ]
+
+
+class TestRaftElections:
+    def test_exactly_one_leader_emerges(self):
+        h = RaftHarness()
+        h.elect()
+
+    def test_terms_are_positive_after_election(self):
+        h = RaftHarness()
+        leader = h.elect()
+        assert leader.current_term >= 1
+
+    def test_followers_learn_leader_hint(self):
+        h = RaftHarness()
+        leader = h.elect()
+        h.sim.run(until=1.5)
+        for r in h.rafts:
+            if r is not leader:
+                assert r.leader_hint == leader.node.addr
+
+    def test_new_leader_after_crash(self):
+        h = RaftHarness()
+        first = h.elect()
+        first.node.crash()
+        h.sim.run(until=3.0)
+        second = next(
+            r for r in h.rafts if r.is_leader and not r.node.crashed
+        )
+        assert second is not first
+        assert second.current_term > first.current_term
+
+
+class TestRaftReplication:
+    def test_commands_apply_in_order_everywhere(self):
+        h = RaftHarness()
+        leader = h.elect()
+        for i in range(20):
+            leader.propose(f"cmd{i}")
+        h.sim.run(until=3.0)
+        for log in h.live_logs():
+            assert log == [f"cmd{i}" for i in range(20)]
+
+    def test_non_leader_propose_rejected(self):
+        h = RaftHarness()
+        leader = h.elect()
+        follower = next(r for r in h.rafts if r is not leader)
+        assert follower.propose("x") is False
+
+    def test_majority_sufficient(self):
+        h = RaftHarness(n=5)
+        leader = h.elect()
+        followers = [r for r in h.rafts if r is not leader]
+        followers[0].node.crash()
+        followers[1].node.crash()
+        leader.propose("with-two-down")
+        h.sim.run(until=3.0)
+        for log in h.live_logs():
+            assert log == ["with-two-down"]
+
+    def test_no_commit_without_majority(self):
+        h = RaftHarness(n=5)
+        leader = h.elect()
+        followers = [r for r in h.rafts if r is not leader]
+        for f in followers[:3]:
+            f.node.crash()
+        leader.propose("minority")
+        h.sim.run(until=2.0)
+        assert h.applied[leader.node.addr] == []
+
+    def test_failover_preserves_committed_entries(self):
+        h = RaftHarness()
+        leader = h.elect()
+        for i in range(5):
+            leader.propose(f"c{i}")
+        h.sim.run(until=2.0)
+        leader.node.crash()
+        h.sim.run(until=4.0)
+        new_leader = next(
+            r for r in h.rafts if r.is_leader and not r.node.crashed
+        )
+        new_leader.propose("after")
+        h.sim.run(until=6.0)
+        for log in h.live_logs():
+            assert log == ["c0", "c1", "c2", "c3", "c4", "after"]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RaftConfig(members=(NodeAddress(0, 0),))
+        with pytest.raises(ValueError):
+            RaftConfig(
+                members=(NodeAddress(0, 0), NodeAddress(0, 1)),
+                election_timeout_min=0.01,
+                heartbeat_interval=0.05,
+            )
+
+
+class PaxosHarness:
+    def __init__(self, n=5):
+        self.sim = Simulator()
+        self.net = Network(self.sim, rtt_matrix={})
+        self.nodes = [SimNode(self.sim, self.net, NodeAddress(0, i)) for i in range(n)]
+        self.order = {n.addr: [] for n in self.nodes}
+        self.paxos = MultiPaxos(
+            self.nodes, on_apply=lambda a, i, v: self.order[a].append(v)
+        )
+
+
+class TestPaxos:
+    def test_single_decree(self):
+        h = PaxosHarness()
+        h.paxos.propose(h.nodes[0].addr, 0, "value")
+        h.sim.run(until=1.0)
+        for log in h.order.values():
+            assert log == ["value"]
+
+    def test_slots_apply_in_order(self):
+        h = PaxosHarness()
+        h.paxos.propose(h.nodes[0].addr, 1, "b")  # out of order
+        h.paxos.propose(h.nodes[0].addr, 0, "a")
+        h.sim.run(until=1.0)
+        for log in h.order.values():
+            assert log == ["a", "b"]
+
+    def test_competing_proposers_agree(self):
+        h = PaxosHarness()
+        h.paxos.propose(h.nodes[0].addr, 0, "from-0")
+        h.paxos.propose(h.nodes[1].addr, 0, "from-1")
+        h.sim.run(until=2.0)
+        decided = {tuple(log) for log in h.order.values() if log}
+        assert len(decided) == 1  # agreement despite the race
+
+    def test_majority_tolerates_minority_crash(self):
+        h = PaxosHarness(n=5)
+        h.nodes[3].crash()
+        h.nodes[4].crash()
+        h.paxos.propose(h.nodes[0].addr, 0, "v")
+        h.sim.run(until=1.0)
+        for node in h.nodes[:3]:
+            assert h.order[node.addr] == ["v"]
+
+    def test_no_progress_without_majority(self):
+        h = PaxosHarness(n=5)
+        for node in h.nodes[2:]:
+            node.crash()
+        h.paxos.propose(h.nodes[0].addr, 0, "v")
+        h.sim.run(until=1.0)
+        assert h.order[h.nodes[0].addr] == []
+
+    def test_fast_path_direct_propose(self):
+        h = PaxosHarness()
+        proposer = h.paxos.proposers[h.nodes[0].addr]
+        proposer.propose_direct(0, "fast")
+        h.sim.run(until=1.0)
+        for log in h.order.values():
+            assert log == ["fast"]
+
+    def test_adopts_previously_accepted_value(self):
+        # Proposer A gets slot 0 accepted by a majority; proposer B then
+        # runs a higher ballot for the same slot and must adopt A's value.
+        h = PaxosHarness(n=3)
+        a = h.paxos.proposers[h.nodes[0].addr]
+        b = h.paxos.proposers[h.nodes[1].addr]
+        a.propose_direct(0, "original", round_number=0)
+        h.sim.run(until=0.5)
+        b.propose(0, "usurper", round_number=1)
+        h.sim.run(until=1.5)
+        decided = {tuple(log) for log in h.order.values() if log}
+        assert decided == {("original",)}
+
+    def test_minimum_size(self):
+        sim = Simulator()
+        net = Network(sim, rtt_matrix={})
+        nodes = [SimNode(sim, net, NodeAddress(0, i)) for i in range(2)]
+        with pytest.raises(ValueError):
+            MultiPaxos(nodes, on_apply=lambda a, i, v: None)

@@ -1,0 +1,84 @@
+"""Unit tests for the global Raft message types and instance bookkeeping."""
+
+import pytest
+
+from repro.core.global_raft import (
+    FollowerSlot,
+    GRAccept,
+    GRCommit,
+    GRPropose,
+    GRTakeoverRequest,
+    GRTakeoverVote,
+    GRTsReplicate,
+    InstanceState,
+    LocalCommitNotice,
+    LocalTsNotice,
+    OutstandingEntry,
+)
+
+
+class TestMessageSizes:
+    def test_propose_size_scales_with_piggyback(self):
+        bare = GRPropose(
+            instance=0, seq=1, digest=b"x" * 32, entry_size=1000,
+            tx_count=5, cert_size=400,
+        )
+        loaded = GRPropose(
+            instance=0, seq=1, digest=b"x" * 32, entry_size=1000,
+            tx_count=5, cert_size=400,
+            ts_assignments=((1, 1, 5), (2, 1, 7)),
+        )
+        assert loaded.size_bytes == bare.size_bytes + 24
+        # The entry body does NOT travel in the propose.
+        assert bare.size_bytes < 1000
+
+    def test_accept_and_commit_are_small(self):
+        accept = GRAccept(instance=0, seq=1, from_gid=1, ts=5, cert_size=400)
+        commit = GRCommit(instance=0, seq=1, cert_size=400)
+        assert accept.size_bytes < 1000
+        assert commit.size_bytes < 1000
+
+    def test_ts_replicate_scales_with_assignments(self):
+        small = GRTsReplicate(assigner=0, assignments=((1, 1, 5),))
+        large = GRTsReplicate(
+            assigner=0, assignments=tuple((1, s, s) for s in range(50))
+        )
+        assert large.size_bytes == small.size_bytes + 49 * 12
+
+    def test_local_notices(self):
+        notice = LocalTsNotice(assignments=((0, 1, 1, 5), (1, 1, 1, 6)))
+        assert notice.size_bytes == 32 + 2 * 16
+        assert LocalCommitNotice(gid=0, seq=1).size_bytes == 32
+
+    def test_takeover_messages(self):
+        req = GRTakeoverRequest(instance=0, candidate=1, term=2)
+        vote = GRTakeoverVote(
+            instance=0, candidate=1, term=2, voter=2, granted=True
+        )
+        assert req.size_bytes == 32
+        assert vote.size_bytes == 32
+
+
+class TestInstanceState:
+    def test_slot_get_or_create(self):
+        state = InstanceState(instance=0)
+        slot = state.slot(5)
+        assert slot.seq == 5
+        assert state.slot(5) is slot
+        assert not slot.propose_received
+
+    def test_outstanding_get_or_create(self):
+        state = InstanceState(instance=0)
+        out = state.outstanding_entry(3)
+        out.accepts.add(1)
+        assert state.outstanding_entry(3).accepts == {1}
+
+    def test_defaults(self):
+        state = InstanceState(instance=2)
+        assert state.committed_through == 0
+        assert state.takeover_leader is None
+        assert state.frozen_clock == 0
+        slot = FollowerSlot(seq=1)
+        assert slot.ts is None and not slot.accept_sent
+        out = OutstandingEntry(seq=1)
+        assert not out.committed and not out.commit_pbft_started

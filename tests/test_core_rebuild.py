@@ -1,0 +1,144 @@
+"""Tests for the optimistic entry rebuild (Section IV-C)."""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rebuild import OptimisticRebuilder
+from repro.crypto.merkle import MerkleTree
+from repro.erasure.reed_solomon import ReedSolomonCodec
+
+
+def make_encoding(payload: bytes, n_data=3, n_parity=4):
+    codec = ReedSolomonCodec(n_data, n_parity)
+    chunks = codec.encode(payload)
+    tree = MerkleTree(chunks)
+    return codec, chunks, tree
+
+
+class TestHappyPath:
+    def test_rebuild_from_first_n_data(self):
+        payload = os.urandom(400)
+        codec, chunks, tree = make_encoding(payload)
+        rebuilder = OptimisticRebuilder(codec, lambda p: p == payload)
+        for cid in range(2):
+            result = rebuilder.add_chunk(tree.root, cid, chunks[cid], tree.proof(cid))
+            assert result.status == "pending"
+        result = rebuilder.add_chunk(tree.root, 2, chunks[2], tree.proof(2))
+        assert result.ok and result.payload == payload
+        assert rebuilder.complete
+
+    def test_rebuild_from_parity_chunks(self):
+        payload = os.urandom(100)
+        codec, chunks, tree = make_encoding(payload)
+        rebuilder = OptimisticRebuilder(codec, lambda p: p == payload)
+        for cid in (4, 5, 6):
+            result = rebuilder.add_chunk(tree.root, cid, chunks[cid], tree.proof(cid))
+        assert result.ok and result.payload == payload
+
+    def test_duplicates_ignored(self):
+        payload = os.urandom(100)
+        codec, chunks, tree = make_encoding(payload)
+        rebuilder = OptimisticRebuilder(codec, lambda p: p == payload)
+        rebuilder.add_chunk(tree.root, 0, chunks[0], tree.proof(0))
+        assert rebuilder.add_chunk(tree.root, 0, chunks[0], tree.proof(0)).status == "duplicate"
+
+    def test_chunks_after_completion_are_duplicates(self):
+        payload = os.urandom(100)
+        codec, chunks, tree = make_encoding(payload)
+        rebuilder = OptimisticRebuilder(codec, lambda p: p == payload)
+        for cid in range(3):
+            rebuilder.add_chunk(tree.root, cid, chunks[cid], tree.proof(cid))
+        late = rebuilder.add_chunk(tree.root, 3, chunks[3], tree.proof(3))
+        assert late.status == "duplicate"
+        assert late.payload == payload
+
+    def test_local_exchange_without_proof(self):
+        payload = os.urandom(100)
+        codec, chunks, tree = make_encoding(payload)
+        rebuilder = OptimisticRebuilder(codec, lambda p: p == payload)
+        for cid in range(3):
+            result = rebuilder.add_chunk(tree.root, cid, chunks[cid], proof=None)
+        assert result.ok
+
+
+class TestAdversarial:
+    def test_bad_proof_rejected(self):
+        payload = os.urandom(100)
+        codec, chunks, tree = make_encoding(payload)
+        rebuilder = OptimisticRebuilder(codec, lambda p: p == payload)
+        result = rebuilder.add_chunk(tree.root, 0, b"garbage", tree.proof(0))
+        assert result.status == "rejected"
+
+    def test_mismatched_proof_index_rejected(self):
+        payload = os.urandom(100)
+        codec, chunks, tree = make_encoding(payload)
+        rebuilder = OptimisticRebuilder(codec, lambda p: p == payload)
+        result = rebuilder.add_chunk(tree.root, 0, chunks[1], tree.proof(1))
+        assert result.status == "rejected"
+
+    def test_fake_bucket_blacklists_its_chunk_ids(self):
+        payload = os.urandom(200)
+        codec, chunks, tree = make_encoding(payload)
+        _, fake_chunks, fake_tree = make_encoding(b"forged" + payload)
+        rebuilder = OptimisticRebuilder(codec, lambda p: p == payload)
+        for cid in (0, 1):
+            rebuilder.add_chunk(fake_tree.root, cid, fake_chunks[cid], fake_tree.proof(cid))
+        result = rebuilder.add_chunk(fake_tree.root, 2, fake_chunks[2], fake_tree.proof(2))
+        assert result.status == "failed"
+        assert rebuilder.blacklisted_ids == {0, 1, 2}
+        # Further chunks with blacklisted ids are refused (DoS guard)...
+        refused = rebuilder.add_chunk(fake_tree.root, 0, fake_chunks[0], fake_tree.proof(0))
+        assert refused.status == "rejected"
+        # ...but other ids of the genuine encoding still complete.
+        for cid in (3, 4, 5):
+            result = rebuilder.add_chunk(tree.root, cid, chunks[cid], tree.proof(cid))
+        assert result.ok and result.payload == payload
+
+    def test_rebuild_attempts_bounded_by_roots(self):
+        payload = os.urandom(120)
+        codec, chunks, tree = make_encoding(payload)
+        rebuilder = OptimisticRebuilder(codec, lambda p: p == payload)
+        # Two distinct fake encodings: each costs at most one rebuild.
+        for marker in (b"f1", b"f2"):
+            _, f_chunks, f_tree = make_encoding(marker + payload)
+            ids = (3, 4, 5) if marker == b"f1" else (0, 1, 6)
+            for cid in ids:
+                rebuilder.add_chunk(f_tree.root, cid, f_chunks[cid], f_tree.proof(cid))
+        assert rebuilder.rebuild_attempts == 2
+        assert not rebuilder.complete
+
+    def test_interleaved_genuine_and_fake(self):
+        payload = os.urandom(300)
+        codec, chunks, tree = make_encoding(payload)
+        _, fake_chunks, fake_tree = make_encoding(b"x" + payload)
+        rebuilder = OptimisticRebuilder(codec, lambda p: p == payload)
+        rebuilder.add_chunk(tree.root, 0, chunks[0], tree.proof(0))
+        rebuilder.add_chunk(fake_tree.root, 1, fake_chunks[1], fake_tree.proof(1))
+        rebuilder.add_chunk(tree.root, 2, chunks[2], tree.proof(2))
+        rebuilder.add_chunk(fake_tree.root, 3, fake_chunks[3], fake_tree.proof(3))
+        result = rebuilder.add_chunk(tree.root, 4, chunks[4], tree.proof(4))
+        assert result.ok and result.payload == payload
+
+    def test_out_of_range_chunk_id(self):
+        payload = os.urandom(50)
+        codec, chunks, tree = make_encoding(payload)
+        rebuilder = OptimisticRebuilder(codec, lambda p: p == payload)
+        assert rebuilder.add_chunk(tree.root, 99, b"x", None).status == "rejected"
+
+    @given(
+        payload=st.binary(min_size=1, max_size=200),
+        order=st.permutations(list(range(7))),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_any_arrival_order_rebuilds(self, payload, order):
+        codec, chunks, tree = make_encoding(payload)
+        rebuilder = OptimisticRebuilder(codec, lambda p: p == payload)
+        for cid in order:
+            result = rebuilder.add_chunk(tree.root, cid, chunks[cid], tree.proof(cid))
+            if result.ok:
+                assert result.payload == payload
+                return
+        pytest.fail("never rebuilt")

@@ -1,0 +1,215 @@
+"""Transport-level tests: leader unicast, bijective, encoded bijective."""
+
+import os
+
+import pytest
+
+from repro.core.entry import EntryId, LogEntry
+from repro.core.replication import (
+    BijectiveTransport,
+    EncodedBijectiveTransport,
+    LeaderUnicastTransport,
+)
+from repro.sim.core import Simulator
+from repro.sim.network import Network, NodeAddress
+from repro.sim.node import SimNode
+from tests.conftest import fast_costs
+
+
+class Harness:
+    def __init__(self, transport_cls, sizes=(4, 4), coding=None, payload=b""):
+        self.sim = Simulator()
+        rtts = {
+            (i, j): 0.020
+            for i in range(len(sizes))
+            for j in range(i + 1, len(sizes))
+        }
+        self.net = Network(self.sim, rtt_matrix=rtts)
+        self.members = {}
+        for gid, n in enumerate(sizes):
+            self.members[gid] = [
+                SimNode(self.sim, self.net, NodeAddress(gid, i)) for i in range(n)
+            ]
+        self.delivered = []  # (addr, entry_id, time)
+        self.entries = {}
+        kwargs = {}
+        if coding is not None:
+            kwargs["coding"] = coding
+        self.transport = transport_cls(
+            self.members,
+            deliver=lambda node, eid: self.delivered.append(
+                (node.addr, eid, self.sim.now)
+            ),
+            get_entry=lambda eid: self.entries[eid],
+            costs=fast_costs(),
+            **kwargs,
+        )
+        payload = payload or os.urandom(2000)
+        self.entry = LogEntry(gid=0, seq=1, payload=payload, declared_size=len(payload))
+        self.entries[self.entry.entry_id] = self.entry
+
+    def replicate(self):
+        group0 = self.members[0]
+        self.transport.replicate(self.entry, group0, group0[0])
+        self.sim.run(until=5.0)
+
+    def receivers(self, gid):
+        return {addr for addr, eid, _ in self.delivered if addr.group == gid}
+
+
+class TestLeaderUnicast:
+    def test_all_nodes_receive(self):
+        h = Harness(LeaderUnicastTransport, sizes=(4, 4, 4))
+        h.replicate()
+        for gid, nodes in h.members.items():
+            assert h.receivers(gid) == {n.addr for n in nodes}
+
+    def test_each_node_delivered_once(self):
+        h = Harness(LeaderUnicastTransport, sizes=(4, 4))
+        h.replicate()
+        addrs = [addr for addr, _, _ in h.delivered]
+        assert len(addrs) == len(set(addrs))
+
+    def test_leader_sends_f_plus_one_copies_per_group(self):
+        h = Harness(LeaderUnicastTransport, sizes=(7, 7, 7))
+        h.replicate()
+        # f=2 for n=7: 3 copies to each of the 2 remote groups.
+        assert h.transport.monitor_counters["wan_entry_copies"] == 6
+
+    def test_byzantine_receivers_tolerated(self):
+        h = Harness(LeaderUnicastTransport, sizes=(4, 4))
+        # f=1 for n=4: leader sends to 2 receivers; one is Byzantine and
+        # silently drops, the correct one forwards to the whole group.
+        h.members[1][0].make_byzantine()
+        h.replicate()
+        correct = {n.addr for n in h.members[1] if not n.byzantine}
+        assert correct <= h.receivers(1)
+
+    def test_byzantine_sender_garbage_rejected(self):
+        h = Harness(LeaderUnicastTransport, sizes=(4, 4))
+        h.members[0][0].make_byzantine()
+        h.replicate()
+        # Origin group still has the entry (local consensus), but the
+        # garbage copies fail certificate verification at group 1.
+        assert h.receivers(1) == set()
+
+    def test_wan_traffic_is_copies_times_entry(self):
+        h = Harness(LeaderUnicastTransport, sizes=(7, 7))
+        h.replicate()
+        expected = 3 * (h.entry.size_bytes + h.transport.cert_size + 32)
+        assert h.net.wan_bytes_total == expected
+
+
+class TestBijective:
+    def test_all_nodes_receive(self):
+        h = Harness(BijectiveTransport, sizes=(7, 7))
+        h.replicate()
+        assert len(h.receivers(1)) == 7
+
+    def test_f1_plus_f2_plus_1_copies(self):
+        h = Harness(BijectiveTransport, sizes=(7, 7))
+        h.replicate()
+        assert h.transport.monitor_counters["wan_entry_copies"] == 5  # 2+2+1
+
+    def test_distinct_senders_used(self):
+        h = Harness(BijectiveTransport, sizes=(7, 7))
+        h.replicate()
+        senders = {
+            addr: bytes_sent
+            for addr, bytes_sent in h.net.wan_bytes_by_node.items()
+            if addr.group == 0 and bytes_sent > 0
+        }
+        assert len(senders) == 5
+
+    def test_worst_case_faults_still_deliver(self):
+        h = Harness(BijectiveTransport, sizes=(7, 7))
+        for node in h.members[0][3:5]:  # f1=2 Byzantine senders
+            node.make_byzantine()
+        for node in h.members[1][:2]:  # f2=2 Byzantine receivers
+            node.make_byzantine()
+        h.replicate()
+        correct = {n.addr for n in h.members[1] if not n.byzantine}
+        assert correct <= h.receivers(1)
+
+
+class TestEncodedBijectiveSimulated:
+    def test_all_nodes_rebuild(self):
+        h = Harness(EncodedBijectiveTransport, sizes=(4, 7), coding="simulated")
+        h.replicate()
+        assert len(h.receivers(1)) == 7
+        assert len(h.receivers(0)) == 4  # origin group via local consensus
+
+    def test_chunk_count_follows_plan(self):
+        h = Harness(EncodedBijectiveTransport, sizes=(4, 7), coding="simulated")
+        h.replicate()
+        assert h.transport.monitor_counters["wan_chunks"] == 28
+
+    def test_traffic_near_plan_overhead(self):
+        h = Harness(EncodedBijectiveTransport, sizes=(7, 7), coding="simulated")
+        h.replicate()
+        plan = h.transport.plan_for(0, 1)
+        payload_traffic = plan.overhead * h.entry.size_bytes
+        # Within 2x: proofs, headers and per-link certificates add a
+        # bounded overhead on top of the coded payload bytes.
+        assert payload_traffic <= h.net.wan_bytes_total <= 2 * payload_traffic
+
+    def test_every_node_sends_equally(self):
+        h = Harness(EncodedBijectiveTransport, sizes=(4, 4), coding="simulated")
+        h.replicate()
+        sent = [
+            h.net.wan_bytes_by_node[n.addr]
+            for n in h.members[0]
+        ]
+        assert len(set(sent)) <= 2  # equal up to the one-off cert bytes
+        assert min(sent) > 0
+
+    def test_byzantine_receivers_tolerated(self):
+        h = Harness(EncodedBijectiveTransport, sizes=(7, 7), coding="simulated")
+        for node in h.members[1][1:3]:
+            node.make_byzantine()
+        h.replicate()
+        correct = {n.addr for n in h.members[1] if not n.byzantine}
+        assert correct <= h.receivers(1)
+
+    def test_byzantine_senders_tolerated(self):
+        h = Harness(EncodedBijectiveTransport, sizes=(7, 7), coding="simulated")
+        for node in h.members[0][3:5]:
+            node.make_byzantine()
+        h.replicate()
+        assert len(h.receivers(1)) >= 5
+
+    def test_combined_worst_case(self):
+        h = Harness(EncodedBijectiveTransport, sizes=(7, 7), coding="simulated")
+        for node in h.members[0][5:7]:
+            node.make_byzantine()
+        for node in h.members[1][1:3]:
+            node.make_byzantine()
+        h.replicate()
+        correct = {n.addr for n in h.members[1] if not n.byzantine}
+        assert correct <= h.receivers(1)
+        assert h.transport.monitor_counters.get("rebuild_failures", 0) >= 1
+
+
+class TestEncodedBijectiveReal:
+    def test_real_coding_roundtrip(self):
+        payload = os.urandom(3000)
+        h = Harness(
+            EncodedBijectiveTransport, sizes=(4, 7), coding="real", payload=payload
+        )
+        h.replicate()
+        assert len(h.receivers(1)) == 7
+
+    def test_real_coding_with_tampering(self):
+        payload = os.urandom(1500)
+        h = Harness(
+            EncodedBijectiveTransport, sizes=(4, 7), coding="real", payload=payload
+        )
+        h.members[0][3].make_byzantine()
+        h.members[1][2].make_byzantine()
+        h.replicate()
+        correct = {n.addr for n in h.members[1] if not n.byzantine}
+        assert correct <= h.receivers(1)
+
+    def test_bad_coding_mode_rejected(self):
+        with pytest.raises(ValueError):
+            Harness(EncodedBijectiveTransport, sizes=(4, 4), coding="bogus")

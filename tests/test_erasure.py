@@ -1,0 +1,211 @@
+"""Unit and property tests for GF(256), matrices, and Reed-Solomon."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.erasure.chunking import join_chunks, pad_to_chunks, split_message
+from repro.erasure.galois import GF256
+from repro.erasure.matrix import Matrix
+from repro.erasure.reed_solomon import ReedSolomonCodec
+
+field_elem = st.integers(min_value=0, max_value=255)
+nonzero_elem = st.integers(min_value=1, max_value=255)
+
+
+class TestGalois:
+    @given(a=field_elem, b=field_elem)
+    def test_mul_commutative(self, a, b):
+        assert GF256.mul(a, b) == GF256.mul(b, a)
+
+    @given(a=field_elem, b=field_elem, c=field_elem)
+    @settings(max_examples=200)
+    def test_mul_associative_and_distributive(self, a, b, c):
+        assert GF256.mul(GF256.mul(a, b), c) == GF256.mul(a, GF256.mul(b, c))
+        assert GF256.mul(a, b ^ c) == GF256.mul(a, b) ^ GF256.mul(a, c)
+
+    @given(a=nonzero_elem)
+    def test_inverse(self, a):
+        assert GF256.mul(a, GF256.inverse(a)) == 1
+
+    @given(a=field_elem, b=nonzero_elem)
+    def test_div_is_mul_by_inverse(self, a, b):
+        assert GF256.div(a, b) == GF256.mul(a, GF256.inverse(b))
+
+    def test_identity_and_zero(self):
+        for a in range(256):
+            assert GF256.mul(a, 1) == a
+            assert GF256.mul(a, 0) == 0
+            assert GF256.add(a, a) == 0  # characteristic 2
+
+    def test_zero_division(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.div(5, 0)
+        with pytest.raises(ZeroDivisionError):
+            GF256.inverse(0)
+
+    @given(a=field_elem)
+    def test_pow(self, a):
+        assert GF256.pow(a, 0) == 1
+        assert GF256.pow(a, 1) == a
+        assert GF256.pow(a, 2) == GF256.mul(a, a)
+
+    def test_mul_row(self):
+        row = bytes(range(10))
+        assert GF256.mul_row(0, row) == bytes(10)
+        assert GF256.mul_row(1, row) == row
+        doubled = GF256.mul_row(2, row)
+        assert doubled == bytes(GF256.mul(2, b) for b in row)
+
+    def test_xor_rows(self):
+        assert GF256.xor_rows(b"\x01\x02", b"\x03\x04") == b"\x02\x06"
+        with pytest.raises(ValueError):
+            GF256.xor_rows(b"\x01", b"\x01\x02")
+
+
+class TestMatrix:
+    def test_identity_multiplication(self):
+        m = Matrix([[1, 2], [3, 4]])
+        assert Matrix.identity(2).multiply(m) == m
+        assert m.multiply(Matrix.identity(2)) == m
+
+    def test_inversion_roundtrip(self):
+        m = Matrix.vandermonde(4, 4)
+        inv = m.invert()
+        assert m.multiply(inv) == Matrix.identity(4)
+
+    def test_singular_raises(self):
+        with pytest.raises(ValueError):
+            Matrix([[1, 2], [1, 2]]).invert()
+
+    def test_non_square_inversion_rejected(self):
+        with pytest.raises(ValueError):
+            Matrix([[1, 2, 3], [4, 5, 6]]).invert()
+
+    def test_vandermonde_any_square_subset_invertible(self):
+        v = Matrix.vandermonde(8, 4)
+        for rows in ([0, 1, 2, 3], [4, 5, 6, 7], [0, 3, 5, 7], [1, 2, 6, 7]):
+            v.select_rows(rows).invert()  # must not raise
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            Matrix([[1, 2]]).multiply(Matrix([[1, 2]]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Matrix([[1, 2], [3]])
+        with pytest.raises(ValueError):
+            Matrix([[300]])
+        with pytest.raises(ValueError):
+            Matrix([])
+
+    def test_vandermonde_row_limit(self):
+        with pytest.raises(ValueError):
+            Matrix.vandermonde(257, 3)
+
+
+class TestReedSolomon:
+    def test_systematic_prefix(self):
+        codec = ReedSolomonCodec(3, 2)
+        data = [b"aa", b"bb", b"cc"]
+        chunks = codec.encode_chunks(data)
+        assert chunks[:3] == data
+        assert len(chunks) == 5
+
+    def test_decode_from_any_subset(self):
+        import itertools
+
+        codec = ReedSolomonCodec(3, 3)
+        data = [b"abcd", b"efgh", b"ijkl"]
+        chunks = codec.encode_chunks(data)
+        for subset in itertools.combinations(range(6), 3):
+            got = codec.decode_chunks({i: chunks[i] for i in subset})
+            assert got == data, subset
+
+    def test_insufficient_chunks_rejected(self):
+        codec = ReedSolomonCodec(3, 2)
+        chunks = codec.encode_chunks([b"aa", b"bb", b"cc"])
+        with pytest.raises(ValueError):
+            codec.decode_chunks({0: chunks[0], 1: chunks[1]})
+
+    def test_corrupted_chunk_gives_wrong_message(self):
+        codec = ReedSolomonCodec(2, 2)
+        chunks = codec.encode_chunks([b"aa", b"bb"])
+        bad = {1: chunks[1], 3: b"XX"}
+        assert codec.decode_chunks(bad) != [b"aa", b"bb"]
+
+    def test_message_roundtrip_with_padding(self):
+        codec = ReedSolomonCodec(4, 3)
+        for size in (0, 1, 7, 8, 100, 1001):
+            msg = bytes(range(256)) * (size // 256 + 1)
+            msg = msg[:size]
+            chunks = codec.encode(msg)
+            assert codec.decode({i: chunks[i] for i in (0, 2, 4, 6)}) == msg
+
+    def test_inconsistent_sizes_rejected(self):
+        codec = ReedSolomonCodec(2, 1)
+        with pytest.raises(ValueError):
+            codec.decode_chunks({0: b"aa", 1: b"b"})
+
+    def test_chunk_index_out_of_range(self):
+        codec = ReedSolomonCodec(2, 1)
+        with pytest.raises(ValueError):
+            codec.decode_chunks({0: b"aa", 5: b"bb"})
+
+    def test_limits(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCodec(0, 2)
+        with pytest.raises(ValueError):
+            ReedSolomonCodec(2, -1)
+        with pytest.raises(ValueError):
+            ReedSolomonCodec(200, 100)
+
+    def test_overhead(self):
+        assert ReedSolomonCodec(13, 15).overhead == pytest.approx(28 / 13)
+
+    def test_chunk_size_for(self):
+        codec = ReedSolomonCodec(3, 2)
+        assert codec.chunk_size_for(10) == 6  # (10 + 8) / 3 rounded up
+
+    @given(
+        n_data=st.integers(min_value=1, max_value=12),
+        n_parity=st.integers(min_value=0, max_value=12),
+        message=st.binary(min_size=0, max_size=300),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_any_n_data_chunks_rebuild(
+        self, n_data, n_parity, message, data
+    ):
+        codec = ReedSolomonCodec(n_data, n_parity)
+        chunks = codec.encode(message)
+        indices = data.draw(
+            st.permutations(range(n_data + n_parity)).map(
+                lambda p: sorted(p[:n_data])
+            )
+        )
+        assert codec.decode({i: chunks[i] for i in indices}) == message
+
+
+class TestChunking:
+    def test_roundtrip(self):
+        for n in (1, 2, 5, 13):
+            for msg in (b"", b"x", b"hello world" * 7):
+                assert join_chunks(pad_to_chunks(msg, n)) == msg
+
+    def test_equal_chunk_sizes(self):
+        chunks = pad_to_chunks(b"hello world", 4)
+        assert len({len(c) for c in chunks}) == 1
+        assert len(chunks) == 4
+
+    def test_corrupt_length_header_detected(self):
+        chunks = pad_to_chunks(b"hi", 2)
+        huge = (2**40).to_bytes(8, "big") + b"".join(chunks)[8:]
+        with pytest.raises(ValueError):
+            join_chunks([huge])
+
+    def test_split_message(self):
+        assert split_message(b"abcdef", 4) == [b"abcd", b"ef"]
+        assert split_message(b"", 4) == [b""]
+        with pytest.raises(ValueError):
+            split_message(b"x", 0)

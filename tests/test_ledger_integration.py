@@ -1,0 +1,72 @@
+"""Ledger-level integration: every observer builds the same hash-chained
+global ledger, with per-group subchains intact."""
+
+import pytest
+
+from repro.protocols import GeoDeployment, baseline, massbft
+from repro.workloads import make_workload
+from tests.conftest import tiny_cluster
+
+
+def deploy(spec, **kwargs):
+    return GeoDeployment(
+        tiny_cluster((4, 4, 4)),
+        spec,
+        make_workload("ycsb-a"),
+        offered_load=1500,
+        seed=51,
+        **kwargs,
+    )
+
+
+class TestObserverLedgers:
+    @pytest.mark.parametrize("spec", [massbft(), baseline()], ids=lambda s: s.name)
+    def test_ledgers_match_across_groups(self, spec):
+        deployment = deploy(spec)
+        deployment.run(duration=1.5, warmup=0.0)
+        ledgers = [
+            deployment.observer_of(g).ledger for g in range(3)
+        ]
+        assert all(ledger.height > 10 for ledger in ledgers)
+        for a in ledgers:
+            for b in ledgers:
+                assert a.matches(b)
+
+    def test_subchains_cover_all_groups(self):
+        deployment = deploy(massbft())
+        deployment.run(duration=1.5, warmup=0.0)
+        ledger = deployment.observer_of(0).ledger
+        for gid in range(3):
+            subchain = ledger.subchains[gid]
+            assert subchain.height > 3
+            assert subchain.verify()
+
+    def test_ledger_order_interleaves_groups(self):
+        deployment = deploy(massbft())
+        deployment.run(duration=1.5, warmup=0.0)
+        order = deployment.observer_of(0).ledger.order()
+        gids = {eid.gid for eid in order}
+        assert gids == {0, 1, 2}
+        # Per-group subsequences are in ascending seq order.
+        for gid in gids:
+            seqs = [eid.seq for eid in order if eid.gid == gid]
+            assert seqs == sorted(seqs)
+
+    def test_ledger_heights_close_across_observers(self):
+        deployment = deploy(massbft())
+        deployment.run(duration=1.5, warmup=0.0)
+        heights = [deployment.observer_of(g).ledger.height for g in range(3)]
+        assert max(heights) - min(heights) < 30  # within a few rounds
+
+    def test_all_observer_mode_ledgers_match(self):
+        deployment = deploy(massbft(), observers="all")
+        deployment.run(duration=1.2, warmup=0.0)
+        ledgers = [
+            node.ledger
+            for node in deployment.nodes.values()
+            if node.ledger is not None
+        ]
+        assert len(ledgers) == 12
+        reference = max(ledgers, key=lambda l: l.height)
+        for ledger in ledgers:
+            assert ledger.matches(reference)

@@ -1,0 +1,183 @@
+"""Unit tests for the event queue and simulator core."""
+
+import pytest
+
+from repro.sim.core import Simulator
+from repro.sim.events import Event, EventQueue
+
+
+class TestEventQueue:
+    def test_fifo_within_same_time(self):
+        queue = EventQueue()
+        fired = []
+        for tag in ("a", "b", "c"):
+            queue.push(1.0, fired.append, (tag,))
+        while (event := queue.pop()) is not None:
+            event.fire()
+        assert fired == ["a", "b", "c"]
+
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.push(2.0, lambda: None)
+        queue.push(1.0, lambda: None)
+        queue.push(3.0, lambda: None)
+        times = []
+        while (event := queue.pop()) is not None:
+            times.append(event.time)
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        keep = queue.push(1.0, fired.append, ("keep",))
+        drop = queue.push(0.5, fired.append, ("drop",))
+        drop.cancel()
+        while (event := queue.pop()) is not None:
+            event.fire()
+        assert fired == ["keep"]
+        assert keep.time == 1.0
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(0.5, lambda: None)
+        queue.push(1.5, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 1.5
+
+    def test_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push(-1.0, lambda: None)
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.clear()
+        assert len(queue) == 0
+        assert queue.pop() is None
+
+
+class TestSimulator:
+    def test_time_advances_to_event(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run_until_idle()
+        assert seen == [1.5]
+        assert sim.now == 1.5
+
+    def test_run_until_advances_even_without_events(self):
+        sim = Simulator()
+        end = sim.run(until=5.0)
+        assert end == 5.0
+        assert sim.now == 5.0
+
+    def test_until_excludes_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, 1)
+        sim.schedule(3.0, seen.append, 3)
+        sim.run(until=2.0)
+        assert seen == [1]
+        assert sim.now == 2.0
+        sim.run(until=4.0)
+        assert seen == [1, 3]
+
+    def test_stop_halts_processing(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: (seen.append(1), sim.stop()))
+        sim.schedule(2.0, seen.append, 2)
+        sim.run(until=10.0)
+        assert seen == [(1, None)] or seen[0] is not None
+        assert len(seen) == 1
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_events_scheduled_during_run_are_processed(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule(0.5, seen.append, "nested"))
+        sim.run_until_idle()
+        assert seen == ["nested"]
+        assert sim.now == 1.5
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(0.1, reschedule)
+
+        sim.schedule(0.0, reschedule)
+        sim.run(max_events=50)
+        assert sim.events_processed == 50
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        error = []
+
+        def inner():
+            try:
+                sim.run(until=10.0)
+            except RuntimeError as exc:
+                error.append(exc)
+
+        sim.schedule(0.5, inner)
+        sim.run(until=1.0)
+        assert len(error) == 1
+
+
+class TestTimer:
+    def test_one_shot(self):
+        sim = Simulator()
+        fired = []
+        sim.set_timer(1.0, lambda: fired.append(sim.now))
+        sim.run(until=5.0)
+        assert fired == [1.0]
+
+    def test_repeating(self):
+        sim = Simulator()
+        fired = []
+        sim.set_timer(1.0, lambda: fired.append(sim.now), interval=1.0)
+        sim.run(until=3.5)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_cancel_stops_timer(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.set_timer(1.0, lambda: fired.append(sim.now), interval=1.0)
+        sim.schedule(2.5, timer.cancel)
+        sim.run(until=6.0)
+        assert fired == [1.0, 2.0]
+        assert not timer.active
+
+    def test_cancel_from_within_callback(self):
+        sim = Simulator()
+        fired = []
+
+        def callback():
+            fired.append(sim.now)
+            if len(fired) == 2:
+                timer.cancel()
+
+        timer = sim.set_timer(1.0, callback, interval=1.0)
+        sim.run(until=10.0)
+        assert fired == [1.0, 2.0]
+
+    def test_reset_restarts_countdown(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.set_timer(1.0, lambda: fired.append(sim.now))
+        sim.schedule(0.5, lambda: timer.reset(1.0))
+        sim.run(until=5.0)
+        assert fired == [1.5]

@@ -1,0 +1,199 @@
+"""Unit tests for the network model: bandwidth queues, latency, failures."""
+
+import pytest
+
+from repro.sim.core import Simulator
+from repro.sim.network import LinkQuality, Network, NodeAddress, ResourceQueue
+from repro.sim.rng import RngRegistry
+
+
+def two_group_net(sim, wan=20e6, **kwargs):
+    net = Network(sim, rtt_matrix={(0, 1): 0.030}, wan_bandwidth=wan, **kwargs)
+    a, b = NodeAddress(0, 0), NodeAddress(1, 0)
+    inbox = {a: [], b: []}
+    net.register(a, lambda m: inbox[a].append((sim.now, m)))
+    net.register(b, lambda m: inbox[b].append((sim.now, m)))
+    return net, a, b, inbox
+
+
+class TestResourceQueue:
+    def test_serialization(self):
+        queue = ResourceQueue("q", rate=10.0)
+        start1, fin1 = queue.acquire(0.0, 5.0)
+        assert (start1, fin1) == (0.0, 0.5)
+        start2, fin2 = queue.acquire(0.0, 5.0)
+        assert (start2, fin2) == (0.5, 1.0)
+
+    def test_idle_gap(self):
+        queue = ResourceQueue("q", rate=10.0)
+        queue.acquire(0.0, 5.0)
+        start, fin = queue.acquire(2.0, 5.0)
+        assert (start, fin) == (2.0, 2.5)
+
+    def test_utilization_and_backlog(self):
+        queue = ResourceQueue("q", rate=10.0)
+        queue.acquire(0.0, 10.0)
+        assert queue.utilization(2.0) == 0.5
+        assert queue.backlog(0.2) == pytest.approx(0.8)
+        assert queue.backlog(5.0) == 0.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ResourceQueue("q", rate=0.0)
+
+
+class TestTransmission:
+    def test_wan_delivery_time(self):
+        sim = Simulator()
+        net, a, b, inbox = two_group_net(sim)
+        # 250 KB at 20 Mbps = 0.1 s serialization + 15 ms one-way.
+        net.send(a, b, "x", 250_000)
+        sim.run_until_idle()
+        assert len(inbox[b]) == 1
+        assert inbox[b][0][0] == pytest.approx(0.115)
+
+    def test_sender_nic_serializes_messages(self):
+        sim = Simulator()
+        net, a, b, inbox = two_group_net(sim)
+        net.send(a, b, "m1", 250_000)
+        net.send(a, b, "m2", 250_000)
+        sim.run_until_idle()
+        times = [t for t, _ in inbox[b]]
+        assert times == pytest.approx([0.115, 0.215])
+
+    def test_priority_lane_bypasses_bulk_backlog(self):
+        sim = Simulator()
+        net, a, b, inbox = two_group_net(sim)
+        net.send(a, b, "bulk", 2_500_000)  # 1 s of serialization
+        net.send(a, b, "ctl", 250, priority=True)
+        sim.run_until_idle()
+        kinds = [(t, m.payload) for t, m in inbox[b]]
+        assert kinds[0][1] == "ctl"
+        assert kinds[0][0] < 0.02
+
+    def test_lan_is_fast(self):
+        sim = Simulator()
+        net = Network(sim, rtt_matrix={})
+        a, b = NodeAddress(0, 0), NodeAddress(0, 1)
+        seen = []
+        net.register(a, lambda m: None)
+        net.register(b, lambda m: seen.append(sim.now))
+        net.send(a, b, "x", 100_000)
+        sim.run_until_idle()
+        assert seen[0] < 0.001
+
+    def test_downstream_limit_optional(self):
+        sim = Simulator()
+        net, a, b, inbox = two_group_net(sim)
+        net2_sim = Simulator()
+        net2, a2, b2, inbox2 = two_group_net(net2_sim, limit_downstream=True)
+        net.send(a, b, "x", 250_000)
+        net2.send(a2, b2, "x", 250_000)
+        sim.run_until_idle()
+        net2_sim.run_until_idle()
+        # Downstream serialization adds another 0.1 s.
+        assert inbox2[b2][0][0] == pytest.approx(inbox[b][0][0] + 0.1)
+
+    def test_unknown_rtt_raises(self):
+        sim = Simulator()
+        net = Network(sim, rtt_matrix={})
+        a, b = NodeAddress(0, 0), NodeAddress(5, 0)
+        net.register(a, lambda m: None)
+        net.register(b, lambda m: None)
+        with pytest.raises(KeyError):
+            net.send(a, b, "x", 100)
+
+    def test_traffic_accounting(self):
+        sim = Simulator()
+        net, a, b, inbox = two_group_net(sim)
+        net.send(a, b, "x", 1000)
+        net.send(a, b, "y", 2000)
+        assert net.wan_bytes_total == 3000
+        assert net.wan_bytes_sent(a) == 3000
+        net.reset_traffic_accounting()
+        assert net.wan_bytes_total == 0
+
+    def test_duplicate_registration_rejected(self):
+        sim = Simulator()
+        net = Network(sim, rtt_matrix={})
+        net.register(NodeAddress(0, 0), lambda m: None)
+        with pytest.raises(ValueError):
+            net.register(NodeAddress(0, 0), lambda m: None)
+
+
+class TestFailures:
+    def test_crashed_destination_drops(self):
+        sim = Simulator()
+        net, a, b, inbox = two_group_net(sim)
+        net.crash_node(b)
+        net.send(a, b, "x", 1000)
+        sim.run_until_idle()
+        assert inbox[b] == []
+
+    def test_crashed_source_does_not_send(self):
+        sim = Simulator()
+        net, a, b, inbox = two_group_net(sim)
+        net.crash_node(a)
+        assert net.send(a, b, "x", 1000) is None
+        sim.run_until_idle()
+        assert inbox[b] == []
+
+    def test_crash_drops_in_flight(self):
+        sim = Simulator()
+        net, a, b, inbox = two_group_net(sim)
+        net.send(a, b, "x", 1000)
+        net.crash_node(a)  # crash before delivery
+        sim.run_until_idle()
+        assert inbox[b] == []
+
+    def test_recovery(self):
+        sim = Simulator()
+        net, a, b, inbox = two_group_net(sim)
+        net.crash_node(b)
+        net.recover_node(b)
+        net.send(a, b, "x", 1000)
+        sim.run_until_idle()
+        assert len(inbox[b]) == 1
+
+    def test_group_crash(self):
+        sim = Simulator()
+        net, a, b, inbox = two_group_net(sim)
+        net.crash_group(1)
+        assert net.is_crashed(b)
+        assert not net.is_crashed(a)
+
+    def test_partition_blocks_wan(self):
+        sim = Simulator()
+        net, a, b, inbox = two_group_net(sim)
+        net.partition_group(1)
+        net.send(a, b, "x", 1000)
+        sim.run_until_idle()
+        assert inbox[b] == []
+        net.heal_partition(1)
+        net.send(a, b, "y", 1000)
+        sim.run_until_idle()
+        assert len(inbox[b]) == 1
+
+    def test_loss_probability(self):
+        sim = Simulator()
+        net = Network(
+            sim,
+            rtt_matrix={(0, 1): 0.030},
+            wan_quality=LinkQuality(loss_probability=1.0),
+            rng=RngRegistry(1),
+        )
+        a, b = NodeAddress(0, 0), NodeAddress(1, 0)
+        seen = []
+        net.register(a, lambda m: None)
+        net.register(b, lambda m: seen.append(m))
+        net.send(a, b, "x", 1000)
+        sim.run_until_idle()
+        assert seen == []
+
+    def test_bandwidth_override(self):
+        sim = Simulator()
+        net, a, b, inbox = two_group_net(sim)
+        net.set_node_bandwidth(a, 40e6)
+        net.send(a, b, "x", 250_000)  # 50 ms at 40 Mbps
+        sim.run_until_idle()
+        assert inbox[b][0][0] == pytest.approx(0.065)

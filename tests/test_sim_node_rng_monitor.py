@@ -1,0 +1,209 @@
+"""Unit tests for SimNode, RNG streams, and stat monitors."""
+
+import pytest
+
+from repro.sim.core import Simulator
+from repro.sim.monitor import Counter, Histogram, StatMonitor, TimeSeries
+from repro.sim.network import Network, NodeAddress
+from repro.sim.node import SimNode
+from repro.sim.rng import RngRegistry
+
+
+class Ping:
+    size_bytes = 64
+
+
+class Pong:
+    size_bytes = 64
+
+
+class TestSimNode:
+    def make_pair(self):
+        sim = Simulator()
+        net = Network(sim, rtt_matrix={(0, 1): 0.020})
+        a = SimNode(sim, net, NodeAddress(0, 0))
+        b = SimNode(sim, net, NodeAddress(1, 0))
+        return sim, net, a, b
+
+    def test_handler_dispatch_by_type(self):
+        sim, net, a, b = self.make_pair()
+        seen = []
+        b.on(Ping, lambda m: seen.append("ping"))
+        b.on(Pong, lambda m: seen.append("pong"))
+        a.send(b.addr, Pong(), 64)
+        a.send(b.addr, Ping(), 64)
+        sim.run_until_idle()
+        assert seen == ["pong", "ping"]
+
+    def test_unhandled_raises_by_default(self):
+        sim, net, a, b = self.make_pair()
+        a.send(b.addr, Ping(), 64)
+        with pytest.raises(LookupError):
+            sim.run_until_idle()
+
+    def test_duplicate_handler_rejected(self):
+        sim, net, a, b = self.make_pair()
+        b.on(Ping, lambda m: None)
+        with pytest.raises(ValueError):
+            b.on(Ping, lambda m: None)
+
+    def test_crashed_node_ignores_messages(self):
+        sim, net, a, b = self.make_pair()
+        seen = []
+        b.on(Ping, lambda m: seen.append(1))
+        b.crash()
+        a.send(b.addr, Ping(), 64)
+        sim.run_until_idle()
+        assert seen == []
+
+    def test_crashed_node_does_not_send(self):
+        sim, net, a, b = self.make_pair()
+        seen = []
+        b.on(Ping, lambda m: seen.append(1))
+        a.crash()
+        a.send(b.addr, Ping(), 64)
+        sim.run_until_idle()
+        assert seen == []
+
+    def test_broadcast_local_excludes_self(self):
+        sim = Simulator()
+        net = Network(sim, rtt_matrix={})
+        nodes = [SimNode(sim, net, NodeAddress(0, i)) for i in range(3)]
+        seen = {n.addr: [] for n in nodes}
+        for n in nodes:
+            n.on(Ping, lambda m, a=n.addr: seen[a].append(m))
+        nodes[0].broadcast_local(Ping(), 64)
+        sim.run_until_idle()
+        assert len(seen[nodes[0].addr]) == 0
+        assert len(seen[nodes[1].addr]) == 1
+        assert len(seen[nodes[2].addr]) == 1
+
+    def test_cpu_queue_serializes_work(self):
+        sim = Simulator()
+        net = Network(sim, rtt_matrix={})
+        node = SimNode(sim, net, NodeAddress(0, 0))
+        done = []
+        node.consume_cpu(1.0, lambda: done.append(sim.now))
+        node.consume_cpu(1.0, lambda: done.append(sim.now))
+        sim.run_until_idle()
+        assert done == [1.0, 2.0]
+
+    def test_cpu_respects_core_count(self):
+        sim = Simulator()
+        net = Network(sim, rtt_matrix={})
+        node = SimNode(sim, net, NodeAddress(0, 0))
+        node.cpu.rate = 4.0  # 4 cores
+        done = []
+        node.consume_cpu(1.0, lambda: done.append(sim.now))
+        sim.run_until_idle()
+        assert done == [0.25]
+
+    def test_zero_cpu_work_runs_immediately(self):
+        sim = Simulator()
+        net = Network(sim, rtt_matrix={})
+        node = SimNode(sim, net, NodeAddress(0, 0))
+        done = []
+        node.consume_cpu(0.0, lambda: done.append(sim.now))
+        sim.run_until_idle()
+        assert done == [0.0]
+
+    def test_timer_suppressed_after_crash(self):
+        sim = Simulator()
+        net = Network(sim, rtt_matrix={})
+        node = SimNode(sim, net, NodeAddress(0, 0))
+        fired = []
+        node.set_timer(1.0, lambda: fired.append(1))
+        node.crash()
+        sim.run_until_idle()
+        assert fired == []
+
+    def test_negative_cpu_rejected(self):
+        sim = Simulator()
+        net = Network(sim, rtt_matrix={})
+        node = SimNode(sim, net, NodeAddress(0, 0))
+        with pytest.raises(ValueError):
+            node.consume_cpu(-1.0, lambda: None)
+
+
+class TestRng:
+    def test_streams_are_memoised(self):
+        rngs = RngRegistry(seed=1)
+        assert rngs.stream("a") is rngs.stream("a")
+
+    def test_streams_are_independent(self):
+        rngs = RngRegistry(seed=1)
+        a = [rngs.stream("a").random() for _ in range(5)]
+        b = [rngs.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_reproducible_across_registries(self):
+        a = [RngRegistry(7).stream("x").random() for _ in range(1)]
+        b = [RngRegistry(7).stream("x").random() for _ in range(1)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert RngRegistry(1).stream("x").random() != RngRegistry(2).stream(
+            "x"
+        ).random()
+
+    def test_fork(self):
+        parent = RngRegistry(3)
+        child1 = parent.fork("n1")
+        child2 = parent.fork("n2")
+        assert child1.stream("s").random() != child2.stream("s").random()
+
+
+class TestMonitors:
+    def test_counter(self):
+        c = Counter("c")
+        c.add()
+        c.add(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.add(-1)
+
+    def test_histogram_percentiles(self):
+        h = Histogram("h")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.mean == pytest.approx(50.5)
+        assert h.p50 == 50.0
+        assert h.p99 == 99.0
+        assert h.percentile(100) == 100.0
+        assert h.min == 1.0 and h.max == 100.0
+
+    def test_histogram_empty(self):
+        h = Histogram("h")
+        assert h.mean == 0.0
+        assert h.p50 == 0.0
+
+    def test_histogram_observe_after_percentile(self):
+        h = Histogram("h")
+        h.observe(5.0)
+        assert h.p50 == 5.0
+        h.observe(1.0)
+        assert h.p50 == 1.0  # re-sorts after new observation
+
+    def test_timeseries_window_sums(self):
+        ts = TimeSeries("t")
+        ts.record(0.1, 1.0)
+        ts.record(0.9, 1.0)
+        ts.record(1.5, 1.0)
+        sums = ts.window_sums(1.0, end=3.0)
+        assert sums == [(0.0, 2.0), (1.0, 1.0), (2.0, 0.0)]
+
+    def test_timeseries_window_means(self):
+        ts = TimeSeries("t")
+        ts.record(0.1, 2.0)
+        ts.record(0.2, 4.0)
+        means = ts.window_means(1.0, end=2.0)
+        assert means == [(0.0, 3.0), (1.0, 0.0)]
+
+    def test_statmonitor_namespacing(self):
+        mon = StatMonitor()
+        mon.counter("a").add(3)
+        mon.histogram("lat").observe(1.0)
+        snap = mon.snapshot()
+        assert snap["a"] == 3.0
+        assert snap["lat.mean"] == 1.0
+        assert mon.counter("a") is mon.counter("a")
