@@ -15,7 +15,7 @@ import json
 import os
 from typing import Any, Callable, Dict, List
 
-from repro.bench.harness import ExperimentRunner, RunConfig
+from repro.bench.harness import RunConfig
 
 #: Simulated seconds per measurement run (keep the full suite tractable).
 DURATION = 1.6

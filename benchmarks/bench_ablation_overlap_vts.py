@@ -7,7 +7,6 @@ while Lemma V.1 keeps the two atomic. Both modes are implemented
 (``massbft(overlap_vts=...)``); this bench measures the latency gap.
 """
 
-import pytest
 
 from benchmarks._helpers import DURATION, WARMUP, record_results, run_once
 from repro.protocols import GeoDeployment, massbft

@@ -6,7 +6,6 @@ leader must ship f+1 entry copies per destination group, and f grows with
 n while the leader's upstream bandwidth does not.
 """
 
-import pytest
 
 from benchmarks._helpers import record_results, run_once, saturated_config
 from repro.bench.harness import ExperimentRunner

@@ -14,9 +14,8 @@ import pytest
 from benchmarks._helpers import record_results, run_once, saturated_config
 from repro.bench.harness import ExperimentRunner
 from repro.bench.report import format_table
-from repro.protocols import GeoDeployment, iss
+from repro.protocols import iss
 from repro.topology import nationwide_cluster, worldwide_cluster
-from repro.workloads import make_workload
 
 PROTOCOLS = ("massbft", "baseline", "geobft", "iss", "steward")
 WORKLOADS = ("ycsb-a", "smallbank")

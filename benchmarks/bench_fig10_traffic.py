@@ -7,7 +7,6 @@ nodes, versus f+1 copies per destination group (6x total) for Baseline;
 Merkle proofs and certificates add only a small constant.
 """
 
-import pytest
 
 from benchmarks._helpers import record_results, run_once
 from repro.bench.report import format_table

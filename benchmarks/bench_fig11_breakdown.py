@@ -5,7 +5,6 @@ latency); local consensus is significant (transaction signature
 verification); entry encoding + rebuild cost ~2.3 ms and are negligible.
 """
 
-import pytest
 
 from benchmarks._helpers import record_results, run_once, saturated_config
 from repro.bench.harness import ExperimentRunner

@@ -11,7 +11,6 @@ ordering) -> EBR+A (= MassBFT, asynchronous ordering). Paper findings:
   while the 4-node group proceeds at its pace — highest total.
 """
 
-import pytest
 
 from benchmarks._helpers import record_results, run_once, saturated_config
 from repro.bench.harness import ExperimentRunner

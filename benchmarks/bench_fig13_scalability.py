@@ -10,7 +10,6 @@ throughput to the growing global-Raft overhead; the paper reports
 MassBFT -26.0% vs Baseline -37.6%.
 """
 
-import pytest
 
 from benchmarks._helpers import record_results, run_once, saturated_config
 from repro.bench.harness import ExperimentRunner

@@ -7,7 +7,6 @@ what the transfer plan can treat as crashed-equivalent, and latency
 *decreases* (-13.4%) as replication replaces execution as the bottleneck.
 """
 
-import pytest
 
 from benchmarks._helpers import record_results, run_once, saturated_config
 from repro.bench.harness import ExperimentRunner

@@ -8,7 +8,6 @@ surviving groups continue at a lower plateau. We reproduce the same
 timeline compressed (Byzantine at 2 s, crash at 4 s).
 """
 
-import pytest
 
 from benchmarks._helpers import record_results, run_once
 from repro.bench.report import format_table

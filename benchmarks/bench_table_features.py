@@ -6,7 +6,6 @@ configuration actually matches its row, so the table cannot drift from
 the code.
 """
 
-import pytest
 
 from benchmarks._helpers import record_results, run_once
 from repro.bench.report import format_table

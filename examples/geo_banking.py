@@ -80,7 +80,7 @@ def main() -> None:
         assert sequence == reference[: len(sequence)], f"{region} diverged!"
         print(
             f"  {region:<14} executed {len(sequence)} entries "
-            f"(prefix-consistent with the longest order)"
+            "(prefix-consistent with the longest order)"
         )
     print("\nAll regions agree on the execution order. ✔")
     print("(deposits/withdrawals legitimately change total funds;")

@@ -32,7 +32,7 @@ def main() -> None:
         f"WAN amplification: {plan.overhead:.2f} entry copies "
         f"(vs {(7 - 1) // 3 + 1 + (7 - 1) // 3} for full-copy bijective "
         f"sending, vs {(7 - 1) // 3 + 1} copies *per leader* for "
-        f"leader-based protocols)\n"
+        "leader-based protocols)\n"
     )
 
     # 2. Deploy MassBFT on the simulated nationwide cluster.

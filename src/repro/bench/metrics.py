@@ -9,8 +9,7 @@ feed the Fig 10 traffic comparison.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.core.entry import EntryId
 from repro.sim.monitor import Histogram, TimeSeries

@@ -6,7 +6,7 @@ helpers keep the formatting consistent and terminal-friendly.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Sequence
+from typing import Any, Iterable, List, Sequence
 
 
 def _fmt(value: Any) -> str:

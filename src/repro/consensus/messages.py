@@ -8,10 +8,9 @@ follow the usual envelope arithmetic: a small fixed header plus digests
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
-from repro.crypto.certificates import QuorumCertificate
 from repro.crypto.hashing import DIGEST_SIZE
 from repro.crypto.signatures import SIGNATURE_SIZE, Signature
 from repro.sim.network import NodeAddress

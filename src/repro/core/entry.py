@@ -10,7 +10,7 @@ that run in size-only mode synthesize a compact payload but keep
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 from typing import Any, NamedTuple, Optional, Tuple
 

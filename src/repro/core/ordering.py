@@ -14,7 +14,7 @@ consensus, so ``e_{i,n}.vts[i] = n`` deterministically (Section V-B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.core.entry import EntryId

@@ -18,7 +18,7 @@ encodings. The optimistic approach:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Set, Tuple
+from typing import Callable, Dict, Optional, Set
 
 from repro.crypto.merkle import MerkleProof
 from repro.erasure.reed_solomon import ReedSolomonCodec

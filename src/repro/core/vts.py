@@ -12,8 +12,7 @@ full ties by (seq, gid) — Lemma V.4's strict total order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 
 class GroupClock:

@@ -9,7 +9,7 @@ binding a different entry to the same (group, sequence) slot.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable as HashableKey, Iterable, Tuple
 
 from repro.crypto.keystore import KeyStore

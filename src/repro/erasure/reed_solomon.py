@@ -13,7 +13,7 @@ lookup tables; a pure-Python fallback keeps the package dependency-free.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.erasure.galois import GF256
 from repro.erasure.matrix import Matrix

@@ -9,7 +9,7 @@ to its predecessor by hash.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.core.entry import EntryId, LogEntry
 from repro.crypto.hashing import digest

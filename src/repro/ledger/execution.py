@@ -21,7 +21,7 @@ batches hit the Payment hotspot more often and the abort rate rises.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.ledger.state import KVStore
 from repro.ledger.transactions import Transaction

@@ -8,11 +8,11 @@ can compare ledgers with a single digest.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.entry import EntryId, LogEntry
 from repro.crypto.hashing import digest
-from repro.ledger.block import GENESIS_HASH, Block, Subchain
+from repro.ledger.block import GENESIS_HASH, Subchain
 
 
 @dataclass(frozen=True)

@@ -2,12 +2,20 @@
 
 Exactly like the paper's evaluation (Section VI implements Steward,
 GeoBFT, ISS and Baseline "under the same codebase with MassBFT"), every
-protocol here is a :class:`repro.protocols.base.ProtocolSpec` — a choice
-of replication transport, global consensus style, and ordering — executed
-by the shared :class:`repro.protocols.base.GeoDeployment` runtime.
+protocol here is a :class:`~repro.protocols.runtime.spec.ProtocolSpec` —
+a choice of replication transport, global consensus style, and ordering
+— executed by the layered stage runtime in
+:mod:`repro.protocols.runtime` and assembled by its composition root,
+:class:`~repro.protocols.runtime.deployment.GeoDeployment`.
 """
 
-from repro.protocols.base import GeoDeployment, GeoNode, GroupRuntime, ProtocolSpec
+from repro.protocols.runtime import (
+    GeoDeployment,
+    GeoNode,
+    GroupRuntime,
+    ProtocolSpec,
+    StageOverrides,
+)
 from repro.protocols.registry import (
     baseline,
     br,
@@ -16,6 +24,7 @@ from repro.protocols.registry import (
     iss,
     massbft,
     protocol_by_name,
+    spec_with_overrides,
     steward,
 )
 
@@ -24,6 +33,8 @@ __all__ = [
     "GeoNode",
     "GroupRuntime",
     "ProtocolSpec",
+    "StageOverrides",
+    "spec_with_overrides",
     "baseline",
     "br",
     "ebr",

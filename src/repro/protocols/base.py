@@ -1,1218 +1,38 @@
-"""The shared geo-consensus runtime.
+"""Compatibility shim for the pre-runtime monolithic module.
 
-One :class:`GeoDeployment` builds a complete simulated system from a
-cluster topology and a :class:`ProtocolSpec`:
+The shared geo-consensus runtime used to live here as one 1200-line
+module. It is now the layered stage package
+:mod:`repro.protocols.runtime` — see that package's docstring for the
+module map. This shim keeps every historical import path working::
 
-* per-group client load (open-loop arrivals, batched at the group
-  representative on the paper's 20 ms batch timer);
-* local PBFT consensus per group (:class:`repro.consensus.pbft.ModeledPbftGroup`);
-* a replication transport (leader unicast / bijective / encoded bijective);
-* the group-as-replica global Raft engine (propose -> accept -> commit,
-  with accept- and commit-phase local PBFT rounds as in Section II-A),
-  or direct broadcast (GeoBFT), or serialized slots (Steward);
-* ordering (round-based or Algorithm 2 asynchronous VTS) and Aria
-  execution at observer nodes, with metrics recorded at each entry's
-  origin-group observer.
+    from repro.protocols.base import GeoDeployment, ProtocolSpec
 
-Failure injection (group crashes with instance takeover, Byzantine chunk
-tampering) reproduces the Fig 15 experiment.
+New code should import from :mod:`repro.protocols` (public surface) or
+:mod:`repro.protocols.runtime` (stage internals) instead.
 """
 
-from __future__ import annotations
-
-import math
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
-
-from repro.bench.metrics import RunMetrics
-from repro.consensus.pbft import ModeledPbftGroup
-from repro.core.entry import EntryId, LogEntry
-from repro.core.global_raft import (
-    FollowerSlot,
-    GRAccept,
-    GRCommit,
-    GRPropose,
-    GRTakeoverRequest,
-    GRTakeoverVote,
-    GRTsReplicate,
-    InstanceState,
-    LocalCommitNotice,
-    LocalTsNotice,
-    OutstandingEntry,
+from repro.protocols.runtime import (
+    AcceptValue,
+    ClientLoad,
+    CommitValue,
+    GeoDeployment,
+    GeoNode,
+    GroupRuntime,
+    ProtocolSpec,
+    SequenceOrderer,
+    StageOverrides,
+    _SequenceOrderer,
 )
-from repro.core.ordering import DeterministicOrderer, RoundBasedOrderer
-from repro.core.replication import (
-    DEFAULT_CERT_SIZE,
-    BijectiveTransport,
-    EncodedBijectiveTransport,
-    LeaderUnicastTransport,
-)
-from repro.core.vts import GroupClock
-from repro.costs import CostModel
-from repro.crypto.keystore import KeyStore
-from repro.ledger.execution import AriaExecutor, ExecutionPipeline
-from repro.ledger.transactions import Transaction, serialize_batch
-from repro.sim.core import Simulator
-from repro.sim.network import Message, Network, NodeAddress
-from repro.sim.node import SimNode
-from repro.sim.rng import RngRegistry
-from repro.topology.cluster import ClusterConfig
-from repro.workloads.base import Workload
 
-
-# ----------------------------------------------------------------------
-# Protocol specification
-# ----------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class ProtocolSpec:
-    """What distinguishes one geo-consensus protocol from another here.
-
-    ``transport``: "leader" | "bijective" | "encoded".
-    ``global_consensus``: "raft" (propose/accept/commit), "none" (direct
-    broadcast, GeoBFT), "serial" (one global slot at a time, Steward).
-    ``ordering``: "round" | "async" | "sequence".
-    ``epoch_slots``: ISS-style epoch gating (entries per epoch), or None.
-    """
-
-    name: str
-    transport: str
-    global_consensus: str
-    ordering: str
-    overlap_vts: bool = True
-    epoch_slots: Optional[int] = None
-    multi_master: bool = True
-
-    def __post_init__(self) -> None:
-        if self.transport not in ("leader", "bijective", "encoded"):
-            raise ValueError(f"unknown transport {self.transport!r}")
-        if self.global_consensus not in ("raft", "none", "serial"):
-            raise ValueError(f"unknown global consensus {self.global_consensus!r}")
-        if self.ordering not in ("round", "async", "sequence"):
-            raise ValueError(f"unknown ordering {self.ordering!r}")
-        if self.ordering == "async" and self.global_consensus != "raft":
-            raise ValueError("asynchronous VTS ordering requires global Raft")
-
-
-# Small values run through local PBFT during the accept/commit phases.
-
-
-@dataclass
-class AcceptValue:
-    """The accept receipt a follower group certifies locally."""
-
-    instance: int
-    seq: int
-    ts: int
-    size_bytes: int = 128
-    tx_count: int = 0
-
-    @property
-    def digest(self) -> bytes:
-        from repro.crypto.hashing import digest
-
-        return digest(f"accept:{self.instance}:{self.seq}:{self.ts}")
-
-
-@dataclass
-class CommitValue:
-    """The commit decision the proposer group certifies locally."""
-
-    instance: int
-    seq: int
-    slot: int = -1
-    size_bytes: int = 128
-    tx_count: int = 0
-
-    @property
-    def digest(self) -> bytes:
-        from repro.crypto.hashing import digest
-
-        return digest(f"commit:{self.instance}:{self.seq}")
-
-
-class _SequenceOrderer:
-    """Steward's ordering: execute entries in global slot order."""
-
-    def __init__(self, on_execute: Callable[[EntryId], None]) -> None:
-        self.on_execute = on_execute
-        self.next_slot = 0
-        self.pending: Dict[int, EntryId] = {}
-        self.executed_count = 0
-
-    def deliver(self, slot: int, entry_id: EntryId) -> None:
-        self.pending[slot] = entry_id
-        while self.next_slot in self.pending:
-            self.executed_count += 1
-            self.on_execute(self.pending.pop(self.next_slot))
-            self.next_slot += 1
-
-
-# ----------------------------------------------------------------------
-# Client load
-# ----------------------------------------------------------------------
-
-
-class ClientLoad:
-    """Open-loop client arrivals for one group, generated lazily.
-
-    Arrival times are exact (one every ``1/rate`` seconds) but transaction
-    objects are only materialised when a batch forms, so no per-arrival
-    simulator events exist. A bounded backlog models client admission:
-    arrivals older than ``queue_seconds`` are dropped (clients time out),
-    keeping measured latency meaningful at saturation.
-    """
-
-    def __init__(
-        self,
-        workload: Workload,
-        rate: float,
-        rng,
-        queue_seconds: float = 0.06,
-    ) -> None:
-        if rate <= 0:
-            raise ValueError("offered rate must be positive")
-        self.workload = workload
-        self.rate = rate
-        self.rng = rng
-        self.queue_seconds = queue_seconds
-        self._next_arrival = 0.0
-        self.dropped = 0
-
-    def take(self, now: float, max_n: Optional[int] = None) -> List[Transaction]:
-        """Materialise the transactions that arrived by ``now``."""
-        # Age out arrivals beyond the admission queue.
-        horizon = now - self.queue_seconds
-        if self._next_arrival < horizon:
-            missed = int((horizon - self._next_arrival) * self.rate)
-            if missed > 0:
-                self.dropped += missed
-                self._next_arrival += missed / self.rate
-        txns: List[Transaction] = []
-        step = 1.0 / self.rate
-        while self._next_arrival <= now:
-            if max_n is not None and len(txns) >= max_n:
-                break
-            txns.append(self.workload.generate(self.rng, now=self._next_arrival))
-            self._next_arrival += step
-        return txns
-
-
-# ----------------------------------------------------------------------
-# Nodes
-# ----------------------------------------------------------------------
-
-
-class GeoNode(SimNode):
-    """One replica: a SimNode plus protocol-facing state."""
-
-    def __init__(
-        self,
-        sim: Simulator,
-        network: Network,
-        addr: NodeAddress,
-        deployment: "GeoDeployment",
-        wan_bandwidth: Optional[float] = None,
-    ) -> None:
-        super().__init__(sim, network, addr, wan_bandwidth=wan_bandwidth)
-        self.deployment = deployment
-        self.gid = addr.group
-        self.index = addr.index
-        self.available_entries: Set[EntryId] = set()
-        self.is_observer = False
-        self.orderer: Any = None  # Deterministic/RoundBased/_Sequence orderer
-        self.pipeline: Optional[ExecutionPipeline] = None
-        self.ledger = None  # GlobalLedger on observer nodes
-        self.on(LocalTsNotice, self._on_local_ts)
-        self.on(LocalCommitNotice, self._on_local_commit)
-
-    def on_unhandled(self, msg: Message) -> None:
-        # Global messages are meaningful only at the current group
-        # representative; other members (and stale reps) ignore them.
-        pass
-
-    @property
-    def runtime(self) -> "GroupRuntime":
-        return self.deployment.groups[self.gid]
-
-    def _on_local_ts(self, msg: Message) -> None:
-        notice: LocalTsNotice = msg.payload
-        self.apply_ts_assignments(notice.assignments)
-
-    def apply_ts_assignments(
-        self, assignments: Tuple[Tuple[int, int, int, int], ...]
-    ) -> None:
-        if self.orderer is None or not isinstance(self.orderer, DeterministicOrderer):
-            return
-        for assigner, gid, seq, ts in assignments:
-            self.orderer.on_timestamp(assigner, gid, seq, ts)
-
-    def _on_local_commit(self, msg: Message) -> None:
-        notice: LocalCommitNotice = msg.payload
-        self.on_global_commit(notice.gid, notice.seq)
-
-    def on_global_commit(self, gid: int, seq: int) -> None:
-        """Entry (gid, seq) is globally committed from this node's view."""
-        if isinstance(self.orderer, RoundBasedOrderer):
-            self.orderer.deliver(gid, seq)
-
-    def on_entry_available(self, entry_id: EntryId) -> None:
-        """Transport callback: entry locally present and verified."""
-        self.available_entries.add(entry_id)
-        entry = self.deployment.entries.get(entry_id)
-        if entry is not None and not self.is_observer:
-            # Every replica executes; non-observers only pay the CPU.
-            self.consume_cpu(
-                self.deployment.costs.execute_seconds(entry.tx_count), _noop
-            )
-        if self.orderer is not None and isinstance(
-            self.orderer, DeterministicOrderer
-        ):
-            self.orderer.mark_available(entry_id.gid, entry_id.seq)
-        self.runtime.on_entry_available_at(self, entry_id)
-
-
-def _noop() -> None:
-    return None
-
-
-# ----------------------------------------------------------------------
-# Group runtime (local consensus + global engine at the representative)
-# ----------------------------------------------------------------------
-
-
-class GroupRuntime:
-    """Everything group ``G_i`` does: batching, local PBFT, the global
-    Raft instances it leads and follows, clock/VTS bookkeeping, and
-    failure handling."""
-
-    def __init__(
-        self,
-        deployment: "GeoDeployment",
-        gid: int,
-        members: List[GeoNode],
-        load: Optional[ClientLoad],
-    ) -> None:
-        self.deployment = deployment
-        self.gid = gid
-        self.members = members
-        self.load = load
-        self.sim = deployment.sim
-        self.spec = deployment.spec
-        self.clock = GroupClock(gid)
-        self.next_seq = 0  # local sequence of the last proposed entry
-        self.last_own_committed = 0
-        self.last_executed_round = 0
-        self.instances: Dict[int, InstanceState] = {
-            g: InstanceState(instance=g) for g in range(deployment.n_groups)
-        }
-        self.ts_outbox: List[Tuple[int, int, int]] = []
-        self.pbft = ModeledPbftGroup(
-            members,
-            deployment.keystore,
-            costs=deployment.costs,
-            instance=f"g{gid}",
-        )
-        for node in members:
-            self.pbft.subscribe(node.addr, self._make_pbft_callback(node))
-        self._entry_slot: Dict[EntryId, int] = {}  # Steward slots
-
-    # ------------------------------------------------------------------
-    # Roles
-    # ------------------------------------------------------------------
-
-    @property
-    def rep(self) -> GeoNode:
-        """The group representative (current local PBFT leader)."""
-        return self.pbft.leader  # type: ignore[return-value]
-
-    @property
-    def crashed(self) -> bool:
-        return all(node.crashed for node in self.members)
-
-    def is_rep(self, node: GeoNode) -> bool:
-        return node is self.rep
-
-    # ------------------------------------------------------------------
-    # Batching and proposal
-    # ------------------------------------------------------------------
-
-    def on_batch_timer(self) -> None:
-        if self.crashed or self.load is None:
-            return
-        self.try_propose()
-
-    def _senders_backlogged(self) -> bool:
-        """TCP-style backpressure: hold proposals while the sending NICs
-        are more than ``wan_backlog_cap`` seconds behind. Without this an
-        overloaded run accumulates unbounded egress queues and control
-        messages (accepts, commits, timestamps) drown behind bulk chunks.
-
-        Encoded bijective replication only *needs* enough senders for
-        ``n_data`` chunks per destination (the parity budget covers the
-        rest — Section VI-C's "log replication requires only 3 correct
-        nodes out of 7"), so the group paces itself on the k-th *fastest*
-        member, not the slowest: a minority of slow nodes does not gate
-        proposals (Fig 14's gradual-degradation regime).
-        """
-        deployment = self.deployment
-        cap = deployment.wan_backlog_cap
-        if self.spec.transport == "leader":
-            senders = [self.rep]
-        else:
-            senders = [n for n in self.members if not n.crashed]
-        if not senders:
-            return True
-        backlogs = sorted(
-            deployment.network.wan_backlog(node.addr) for node in senders
-        )
-        if self.spec.transport == "encoded":
-            needed = 1
-            for dst in deployment.other_groups(self.gid):
-                plan = deployment.transport.plan_for(self.gid, dst)
-                needed = max(needed, -(-plan.n_data // plan.nc1))
-            index = min(needed, len(backlogs)) - 1
-            return backlogs[index] > cap
-        return backlogs[-1] > cap
-
-    def _cpu_backlogged(self) -> bool:
-        """Admission control on compute: hold proposals while the
-        representative's CPU queue (signature verification, coding,
-        execution) is more than ``cpu_backlog_cap`` seconds behind. This
-        is what turns CPU saturation into the Fig 13a *plateau* instead
-        of an unbounded processing backlog."""
-        now = self.sim.now
-        cap = self.deployment.cpu_backlog_cap
-        if self.rep.cpu.backlog(now) > cap:
-            return True
-        # The local PBFT leader broadcasts (n-1) entry copies over its
-        # LAN NIC; at large group sizes this is a real bottleneck and
-        # needs the same admission control as the WAN and CPU queues.
-        lan = self.deployment.network._lan_up[self.rep.addr]
-        return lan.backlog(now) > cap
-
-    def _window_allows(self) -> bool:
-        spec = self.spec
-        deployment = self.deployment
-        if self._senders_backlogged() or self._cpu_backlogged():
-            return False
-        if spec.global_consensus == "serial":
-            return deployment.steward_owner() == self.gid and not deployment.steward_in_flight
-        if spec.ordering == "async":
-            outstanding = self.next_seq - self.last_own_committed
-            return outstanding < deployment.pipeline_window
-        # Round-based: don't run ahead of execution by more than the window.
-        if self.next_seq - self.last_executed_round >= deployment.round_window:
-            return False
-        if spec.epoch_slots:
-            # ISS: the first entry of epoch e may only be proposed once
-            # every entry of epoch e-1 (all groups) has executed locally —
-            # the per-epoch synchronisation that disrupts the pipeline.
-            seq = self.next_seq + 1
-            epoch = (seq - 1) // spec.epoch_slots
-            if epoch > 0 and (seq - 1) % spec.epoch_slots == 0:
-                if self.last_executed_round < epoch * spec.epoch_slots:
-                    return False
-        return True
-
-    def try_propose(self) -> Optional[LogEntry]:
-        if not self._window_allows():
-            return None
-        now = self.sim.now
-        txns = self.load.take(now, max_n=self.deployment.max_batch_txns)
-        if not txns:
-            return None
-        self.next_seq += 1
-        entry = self._make_entry(self.next_seq, txns, now)
-        deployment = self.deployment
-        deployment.entries[entry.entry_id] = entry
-        deployment.metrics.stamp(entry.entry_id, "batched", now)
-        waits = [now - tx.created_at for tx in txns]
-        deployment.metrics.record_batch(len(txns), sum(waits) / len(waits))
-        if self.spec.global_consensus == "serial":
-            slot = deployment.steward_take_slot()
-            self._entry_slot[entry.entry_id] = slot
-        self.pbft.propose(entry)
-        return entry
-
-    def _make_entry(self, seq: int, txns: List[Transaction], now: float) -> LogEntry:
-        wire_size = sum(tx.size_bytes for tx in txns) + 64
-        if self.deployment.materialize_payloads:
-            payload = serialize_batch(tuple(txns))
-        else:
-            payload = b""
-        return LogEntry(
-            gid=self.gid,
-            seq=seq,
-            payload=payload,
-            transactions=tuple(txns),
-            created_at=now,
-            declared_size=wire_size,
-        )
-
-    # ------------------------------------------------------------------
-    # Local PBFT commit dispatch
-    # ------------------------------------------------------------------
-
-    def _make_pbft_callback(self, node: GeoNode):
-        def on_committed(seq: int, value: Any, cert: Any) -> None:
-            if isinstance(value, LogEntry):
-                self._on_entry_locally_committed(node, value)
-            elif isinstance(value, AcceptValue):
-                self._on_accept_certified(node, value)
-            elif isinstance(value, CommitValue):
-                self._on_commit_certified(node, value)
-
-        return on_committed
-
-    def _on_entry_locally_committed(self, node: GeoNode, entry: LogEntry) -> None:
-        if not self.is_rep(node):
-            return
-        deployment = self.deployment
-        deployment.metrics.stamp(entry.entry_id, "local_committed", self.sim.now)
-        deployment.transport.replicate(entry, self.members, node)
-        if self.spec.global_consensus == "none":
-            # GeoBFT: availability doubles as commitment (handled in
-            # on_entry_available_at); nothing more to send.
-            return
-        # Initiate global consensus on our own instance.
-        state = self.instances[self.gid]
-        state.outstanding_entry(entry.seq).accepts.add(self.gid)
-        assignments = tuple(self.ts_outbox)
-        self.ts_outbox.clear()
-        slot = self._entry_slot.get(entry.entry_id, -1)
-        propose = GRPropose(
-            instance=self.gid,
-            seq=entry.seq,
-            digest=entry.digest,
-            entry_size=entry.size_bytes,
-            tx_count=entry.tx_count,
-            cert_size=deployment.cert_size,
-            ts_assignments=assignments,
-        )
-        for gid in deployment.other_groups(self.gid):
-            rep = deployment.groups[gid].rep
-            node.send(rep.addr, propose, propose.size_bytes, priority=True)
-        if assignments:
-            self._notify_ts(node, [(self.gid, g, s, t) for (g, s, t) in assignments])
-        # If we lead a takeover, our own entries also need the crashed
-        # group's element assigned on its behalf.
-        self._takeover_assign(node, self.gid, entry.seq)
-
-    # ------------------------------------------------------------------
-    # Global Raft: follower side
-    # ------------------------------------------------------------------
-
-    def on_gr_propose(self, node: GeoNode, msg: Message) -> None:
-        propose: GRPropose = msg.payload
-        if not self.is_rep(node) or node.crashed:
-            return
-        state = self.instances[propose.instance]
-        state.last_heard = self.sim.now
-        state.frozen_clock = max(state.frozen_clock, propose.seq)
-        if propose.ts_assignments:
-            self._notify_ts(
-                node,
-                [
-                    (propose.instance, g, s, t)
-                    for (g, s, t) in propose.ts_assignments
-                ],
-            )
-        slot = state.slot(propose.seq)
-        slot.propose_received = True
-        if self.spec.ordering == "async" and slot.ts is None and self.spec.overlap_vts:
-            self._assign_ts(node, state, slot, propose.instance)
-        # A takeover leader also assigns the crashed group's element.
-        self._takeover_assign(node, propose.instance, propose.seq)
-        self._try_accept(node, propose.instance, slot)
-
-    def _assign_ts(
-        self, node: GeoNode, state: InstanceState, slot: FollowerSlot, instance: int
-    ) -> None:
-        slot.ts = self.clock.read()
-        # Replicate through our own instance: queue for piggyback; the
-        # accept broadcast (MassBFT) also carries it promptly.
-        self.ts_outbox.append((instance, slot.seq, slot.ts))
-        self._notify_ts(node, [(self.gid, instance, slot.seq, slot.ts)])
-
-    def _try_accept(self, node: GeoNode, instance: int, slot: FollowerSlot) -> None:
-        if slot.accept_pbft_started or not slot.propose_received:
-            return
-        entry_id = EntryId(instance, slot.seq)
-        if entry_id not in node.available_entries:
-            return
-        if slot.ts is None:
-            if self.spec.ordering == "async":
-                if not self.spec.overlap_vts:
-                    slot.ts = self.clock.read()
-                    self.ts_outbox.append((instance, slot.seq, slot.ts))
-                    self._notify_ts(node, [(self.gid, instance, slot.seq, slot.ts)])
-                else:
-                    self._assign_ts(
-                        node, self.instances[instance], slot, instance
-                    )
-            else:
-                slot.ts = 0
-        slot.accept_pbft_started = True
-        # The accept itself reaches local PBFT consensus (prepare skipped:
-        # the value is already certified by the sender group).
-        self.pbft.propose(
-            AcceptValue(instance=instance, seq=slot.seq, ts=slot.ts),
-            skip_prepare=True,
-        )
-
-    def _on_accept_certified(self, node: GeoNode, value: AcceptValue) -> None:
-        if not self.is_rep(node):
-            return
-        deployment = self.deployment
-        accept = GRAccept(
-            instance=value.instance,
-            seq=value.seq,
-            from_gid=self.gid,
-            ts=value.ts,
-            cert_size=deployment.cert_size,
-        )
-        slot = self.instances[value.instance].slot(value.seq)
-        slot.accept_sent = True
-        if deployment.spec.ordering == "async":
-            # MassBFT broadcasts accepts to every representative: the
-            # slow-receiver notification and the VTS replication vehicle.
-            for gid in deployment.other_groups(self.gid):
-                rep = deployment.groups[gid].rep
-                node.send(rep.addr, accept, accept.size_bytes, priority=True)
-        else:
-            owner = deployment.groups[value.instance]
-            node.send(owner.rep.addr, accept, accept.size_bytes, priority=True)
-
-    # ------------------------------------------------------------------
-    # Global Raft: leader side
-    # ------------------------------------------------------------------
-
-    def on_gr_accept(self, node: GeoNode, msg: Message) -> None:
-        accept: GRAccept = msg.payload
-        if not self.is_rep(node) or node.crashed:
-            return
-        deployment = self.deployment
-        if deployment.spec.ordering == "async" and accept.ts >= 0:
-            self._notify_ts(
-                node, [(accept.from_gid, accept.instance, accept.seq, accept.ts)]
-            )
-        state = self.instances[accept.instance]
-        if accept.seq <= state.committed_through:
-            return  # late accept for an already-committed entry
-        if accept.instance == self.gid:
-            out = state.outstanding_entry(accept.seq)
-            out.accepts.add(accept.from_gid)
-            quorum = deployment.f_g + 1
-            if len(out.accepts) >= quorum and not out.commit_pbft_started:
-                out.commit_pbft_started = True
-                entry_id = EntryId(self.gid, accept.seq)
-                self.pbft.propose(
-                    CommitValue(
-                        instance=self.gid,
-                        seq=accept.seq,
-                        slot=self._entry_slot.get(entry_id, -1),
-                    ),
-                    skip_prepare=True,
-                )
-        else:
-            # Accept broadcast from a sibling follower (slow-receiver
-            # path): after f_g+1 accepts we may assign our clock even
-            # without holding the entry yet.
-            slot = state.slot(accept.seq)
-            slot.propose_received = True
-            state.last_heard = self.sim.now
-            if (
-                deployment.spec.ordering == "async"
-                and slot.ts is None
-                and self.spec.overlap_vts
-            ):
-                self._assign_ts(node, state, slot, accept.instance)
-            self._try_accept(node, accept.instance, slot)
-
-    def _on_commit_certified(self, node: GeoNode, value: CommitValue) -> None:
-        if not self.is_rep(node):
-            return
-        deployment = self.deployment
-        commit = GRCommit(
-            instance=value.instance, seq=value.seq, cert_size=deployment.cert_size
-        )
-        for gid in deployment.other_groups(self.gid):
-            rep = deployment.groups[gid].rep
-            node.send(rep.addr, commit, commit.size_bytes, priority=True)
-        self._handle_commit(node, value.instance, value.seq, value.slot)
-
-    def on_gr_commit(self, node: GeoNode, msg: Message) -> None:
-        commit: GRCommit = msg.payload
-        if not self.is_rep(node) or node.crashed:
-            return
-        self.instances[commit.instance].last_heard = self.sim.now
-        slot = self.deployment.steward_slot_of(EntryId(commit.instance, commit.seq))
-        self._handle_commit(node, commit.instance, commit.seq, slot)
-
-    def _handle_commit(self, node: GeoNode, instance: int, seq: int, slot: int) -> None:
-        deployment = self.deployment
-        state = self.instances[instance]
-        state.committed_through = max(state.committed_through, seq)
-        entry_id = EntryId(instance, seq)
-        if instance == self.gid:
-            # Our own entry completed consensus: advance our clock.
-            self.clock.advance_to(seq)
-            self.last_own_committed = max(self.last_own_committed, seq)
-            deployment.metrics.stamp(entry_id, "global_committed", self.sim.now)
-        state.outstanding.pop(seq, None)
-        state.slots.pop(seq, None)
-        if deployment.spec.global_consensus == "serial":
-            deployment.steward_commit_slot(slot)
-        # Notify group members (round ordering feeds on this).
-        notice = LocalCommitNotice(gid=instance, seq=seq)
-        node.broadcast_local(notice, notice.size_bytes)
-        self._local_commit_at(node, instance, seq, slot)
-
-    def _local_commit_at(self, node: GeoNode, instance: int, seq: int, slot: int) -> None:
-        if isinstance(node.orderer, _SequenceOrderer) and slot >= 0:
-            node.orderer.deliver(slot, EntryId(instance, seq))
-        else:
-            node.on_global_commit(instance, seq)
-
-    # ------------------------------------------------------------------
-    # Timestamp distribution
-    # ------------------------------------------------------------------
-
-    def _notify_ts(
-        self, node: GeoNode, assignments: List[Tuple[int, int, int, int]]
-    ) -> None:
-        """Share VTS assignments with all group members (LAN) + self."""
-        if self.spec.ordering != "async":
-            return
-        notice = LocalTsNotice(assignments=tuple(assignments))
-        node.broadcast_local(notice, notice.size_bytes)
-        node.apply_ts_assignments(notice.assignments)
-
-    def flush_ts_outbox(self) -> None:
-        """Periodic flush so idle groups still replicate assignments."""
-        if self.crashed or self.spec.ordering != "async":
-            return
-        if not self.ts_outbox:
-            return
-        node = self.rep
-        assignments = tuple(self.ts_outbox)
-        self.ts_outbox.clear()
-        flush = GRTsReplicate(assigner=self.gid, assignments=assignments)
-        for gid in self.deployment.other_groups(self.gid):
-            rep = self.deployment.groups[gid].rep
-            node.send(rep.addr, flush, flush.size_bytes, priority=True)
-
-    def on_gr_ts_replicate(self, node: GeoNode, msg: Message) -> None:
-        flush: GRTsReplicate = msg.payload
-        if not self.is_rep(node) or node.crashed:
-            return
-        if flush.assigner < self.deployment.n_groups:
-            self.instances[flush.assigner].last_heard = self.sim.now
-        self._notify_ts(
-            node, [(flush.assigner, g, s, t) for (g, s, t) in flush.assignments]
-        )
-
-    # ------------------------------------------------------------------
-    # Availability hook
-    # ------------------------------------------------------------------
-
-    def on_entry_available_at(self, node: GeoNode, entry_id: EntryId) -> None:
-        deployment = self.deployment
-        if entry_id.gid != self.gid and self.is_rep(node):
-            deployment.metrics.stamp(entry_id, "available_remote", self.sim.now)
-        if self.spec.global_consensus == "none":
-            # GeoBFT: having the entry is commitment; each node feeds its
-            # own (round) orderer directly.
-            node.on_global_commit(entry_id.gid, entry_id.seq)
-            if entry_id.gid == self.gid:
-                self.last_own_committed = max(self.last_own_committed, entry_id.seq)
-            return
-        if entry_id.gid != self.gid and self.is_rep(node):
-            slot = self.instances[entry_id.gid].slot(entry_id.seq)
-            self._try_accept(node, entry_id.gid, slot)
-
-    # ------------------------------------------------------------------
-    # Execution feedback
-    # ------------------------------------------------------------------
-
-    def note_executed_round(self, entry_id: EntryId) -> None:
-        if entry_id.gid == self.gid:
-            self.last_executed_round = max(self.last_executed_round, entry_id.seq)
-
-    # ------------------------------------------------------------------
-    # Crashed-group takeover (Section V-C, Fig 15)
-    # ------------------------------------------------------------------
-
-    def check_instance_liveness(self) -> None:
-        """Periodic: start a takeover for silent instances we don't lead."""
-        if self.crashed or self.spec.ordering != "async":
-            return
-        now = self.sim.now
-        deployment = self.deployment
-        timeout = deployment.takeover_timeout
-        for instance, state in self.instances.items():
-            if instance == self.gid or state.takeover_leader is not None:
-                continue
-            if state.last_heard == 0.0 or now - state.last_heard < timeout:
-                continue
-            # Candidate rule: the lowest-gid live group runs for takeover.
-            live = [
-                g
-                for g in range(deployment.n_groups)
-                if g != instance and not deployment.groups[g].crashed
-            ]
-            if not live or live[0] != self.gid:
-                continue
-            state.takeover_term += 1
-            state.takeover_votes = {self.gid}
-            request = GRTakeoverRequest(
-                instance=instance, candidate=self.gid, term=state.takeover_term
-            )
-            for gid in deployment.other_groups(self.gid):
-                rep = deployment.groups[gid].rep
-                self.rep.send(rep.addr, request, request.size_bytes, priority=True)
-
-    def on_takeover_request(self, node: GeoNode, msg: Message) -> None:
-        request: GRTakeoverRequest = msg.payload
-        if not self.is_rep(node) or node.crashed:
-            return
-        state = self.instances[request.instance]
-        silent = (
-            self.sim.now - state.last_heard
-            >= self.deployment.takeover_timeout / 2
-        )
-        granted = silent and request.term > state.takeover_term
-        if granted:
-            state.takeover_term = request.term
-        vote = GRTakeoverVote(
-            instance=request.instance,
-            candidate=request.candidate,
-            term=request.term,
-            voter=self.gid,
-            granted=granted,
-        )
-        rep = self.deployment.groups[request.candidate].rep
-        node.send(rep.addr, vote, vote.size_bytes, priority=True)
-
-    def on_takeover_vote(self, node: GeoNode, msg: Message) -> None:
-        vote: GRTakeoverVote = msg.payload
-        if not self.is_rep(node) or node.crashed or not vote.granted:
-            return
-        state = self.instances[vote.instance]
-        if vote.term != state.takeover_term or state.takeover_leader is not None:
-            return
-        state.takeover_votes.add(vote.voter)
-        if len(state.takeover_votes) >= self.deployment.f_g + 1:
-            state.takeover_leader = self.gid
-            self._start_takeover_assignments(node, vote.instance)
-
-    def _start_takeover_assignments(self, node: GeoNode, instance: int) -> None:
-        """Assign the crashed group's frozen clock to everything pending.
-
-        The representative's orderer knows exactly which entries still
-        lack element ``instance`` (including committed-but-unexecuted
-        ones whose engine slots were already pruned), so it is the sweep
-        source; the follower-slot sweep alone would miss entries that
-        committed without the crashed group's accept.
-        """
-        state = self.instances[instance]
-        frozen = state.frozen_clock
-        assignments: List[Tuple[int, int, int]] = []
-        seen: Set[Tuple[int, int]] = set()
-
-        def need(gid: int, seq: int) -> None:
-            if gid != instance and (gid, seq) not in seen:
-                seen.add((gid, seq))
-                assignments.append((gid, seq, frozen))
-
-        orderer = node.orderer
-        if isinstance(orderer, DeterministicOrderer):
-            for entry_state in list(orderer.states.values()) + orderer.heads:
-                if not entry_state.vts.is_set[instance]:
-                    need(entry_state.gid, entry_state.seq)
-        for other_instance, other_state in self.instances.items():
-            if other_instance == instance:
-                continue
-            for seq in other_state.slots:
-                need(other_instance, seq)
-        for seq in self.instances[self.gid].outstanding:
-            need(self.gid, seq)
-        if assignments:
-            self._broadcast_takeover_ts(node, instance, assignments)
-
-    def _takeover_assign(self, node: GeoNode, gid: int, seq: int) -> None:
-        """While leading a takeover, stamp new entries with the frozen clock."""
-        for instance, state in self.instances.items():
-            if state.takeover_leader == self.gid and instance != gid:
-                self._broadcast_takeover_ts(node, instance, [(gid, seq, state.frozen_clock)])
-
-    def _broadcast_takeover_ts(
-        self, node: GeoNode, instance: int, assignments: List[Tuple[int, int, int]]
-    ) -> None:
-        flush = GRTsReplicate(assigner=instance, assignments=tuple(assignments))
-        for gid in self.deployment.other_groups(self.gid):
-            rep = self.deployment.groups[gid].rep
-            node.send(rep.addr, flush, flush.size_bytes, priority=True)
-        self._notify_ts(
-            node, [(instance, g, s, t) for (g, s, t) in assignments]
-        )
-
-
-# ----------------------------------------------------------------------
-# Deployment
-# ----------------------------------------------------------------------
-
-
-class GeoDeployment:
-    """Builds and drives one simulated deployment of a protocol.
-
-    Typical benchmark usage::
-
-        deployment = GeoDeployment(cluster, massbft(), workload,
-                                   offered_load=30_000)
-        metrics = deployment.run(duration=2.0, warmup=0.5)
-        print(metrics.throughput, metrics.mean_latency)
-    """
-
-    def __init__(
-        self,
-        cluster: ClusterConfig,
-        spec: ProtocolSpec,
-        workload: Workload,
-        offered_load: float = 30_000.0,
-        batch_timeout: float = 0.020,
-        max_batch_txns: Optional[int] = None,
-        pipeline_window: int = 32,
-        round_window: int = 8,
-        coding: str = "simulated",
-        execution: str = "modeled",
-        observers: str = "leaders",
-        costs: Optional[CostModel] = None,
-        seed: int = 0,
-        takeover_timeout: float = 1.0,
-        ts_flush_interval: float = 0.005,
-        client_queue_seconds: float = 0.06,
-        cert_size: int = DEFAULT_CERT_SIZE,
-        wan_backlog_cap: float = 0.12,
-        cpu_backlog_cap: float = 0.08,
-    ) -> None:
-        """``offered_load`` is client transactions/second *per group*;
-        ``max_batch_txns`` defaults to one batch-timeout's worth of
-        arrivals (so a fast group cannot mask a sync-ordering stall by
-        growing its batches without bound)."""
-        if coding not in ("real", "simulated"):
-            raise ValueError(f"unknown coding mode {coding!r}")
-        if execution not in ("full", "modeled"):
-            raise ValueError(f"unknown execution mode {execution!r}")
-        if observers not in ("leaders", "all"):
-            raise ValueError(f"observers must be 'leaders' or 'all'")
-        self.cluster = cluster
-        self.spec = spec
-        self.workload = workload
-        if isinstance(offered_load, dict):
-            self.offered_load = dict(offered_load)
-        else:
-            self.offered_load = {
-                g.gid: float(offered_load) for g in cluster.groups
-            }
-        self.batch_timeout = batch_timeout
-        # One batch holds at most a batch-timeout's worth of arrivals
-        # (the paper fixes the batch timeout at 20 ms).
-        self.max_batch_txns = max_batch_txns or max(
-            1, int(max(self.offered_load.values()) * batch_timeout)
-        )
-        self.pipeline_window = pipeline_window
-        self.round_window = round_window
-        self.coding = coding
-        self.execution = execution
-        self.costs = costs or CostModel()
-        self.seed = seed
-        self.takeover_timeout = takeover_timeout
-        self.ts_flush_interval = ts_flush_interval
-        self.cert_size = cert_size
-        self.wan_backlog_cap = wan_backlog_cap
-        self.cpu_backlog_cap = cpu_backlog_cap
-        self.materialize_payloads = coding == "real" or execution == "full"
-
-        self.rng = RngRegistry(seed)
-        self.sim = Simulator()
-        self.network = Network(
-            self.sim,
-            rtt_matrix=cluster.rtt_matrix,
-            lan_bandwidth=cluster.lan_bandwidth,
-            wan_bandwidth=cluster.wan_bandwidth,
-            lan_latency=cluster.lan_latency,
-            rng=self.rng,
-        )
-        self.keystore = KeyStore(seed=seed)
-        self.n_groups = cluster.n_groups
-        self.f_g = cluster.f_g
-        self.metrics = RunMetrics(self.n_groups)
-        self.entries: Dict[EntryId, LogEntry] = {}
-
-        # Steward global slot machinery.
-        self._steward_next_slot = 0
-        self._steward_committed = -1
-        self.steward_in_flight = False
-        self._steward_slots: Dict[EntryId, int] = {}
-
-        # Build nodes and groups.
-        self.nodes: Dict[NodeAddress, GeoNode] = {}
-        self.groups: Dict[int, GroupRuntime] = {}
-        for group_cfg in cluster.groups:
-            members: List[GeoNode] = []
-            for index in range(group_cfg.n_nodes):
-                addr = NodeAddress(group_cfg.gid, index)
-                node = GeoNode(
-                    self.sim,
-                    self.network,
-                    addr,
-                    self,
-                    wan_bandwidth=group_cfg.bandwidth_of(
-                        index, cluster.wan_bandwidth
-                    ),
-                )
-                node.cpu.rate = self.costs.cpu_cores
-                self.nodes[addr] = node
-                members.append(node)
-            load = ClientLoad(
-                workload,
-                rate=self.offered_load[group_cfg.gid],
-                rng=self.rng.stream(f"load.g{group_cfg.gid}"),
-                queue_seconds=client_queue_seconds,
-            )
-            runtime = GroupRuntime(self, group_cfg.gid, members, load)
-            self.groups[group_cfg.gid] = runtime
-
-        # Wire global message handlers (all nodes; reps act on them).
-        for node in self.nodes.values():
-            runtime = self.groups[node.gid]
-            node.on(GRPropose, lambda m, r=runtime, n=node: r.on_gr_propose(n, m))
-            node.on(GRAccept, lambda m, r=runtime, n=node: r.on_gr_accept(n, m))
-            node.on(GRCommit, lambda m, r=runtime, n=node: r.on_gr_commit(n, m))
-            node.on(
-                GRTsReplicate,
-                lambda m, r=runtime, n=node: r.on_gr_ts_replicate(n, m),
-            )
-            node.on(
-                GRTakeoverRequest,
-                lambda m, r=runtime, n=node: r.on_takeover_request(n, m),
-            )
-            node.on(
-                GRTakeoverVote,
-                lambda m, r=runtime, n=node: r.on_takeover_vote(n, m),
-            )
-
-        # Transport.
-        members_by_gid = {g: list(rt.members) for g, rt in self.groups.items()}
-        deliver = lambda node, entry_id: node.on_entry_available(entry_id)
-        get_entry = lambda entry_id: self.entries[entry_id]
-        if spec.transport == "leader":
-            self.transport = LeaderUnicastTransport(
-                members_by_gid, deliver, get_entry, self.costs, cert_size
-            )
-        elif spec.transport == "bijective":
-            self.transport = BijectiveTransport(
-                members_by_gid, deliver, get_entry, self.costs, cert_size
-            )
-        else:
-            self.transport = EncodedBijectiveTransport(
-                members_by_gid,
-                deliver,
-                get_entry,
-                self.costs,
-                cert_size,
-                coding=coding,
-            )
-
-        # Observers: ordering + execution + measurement.
-        self._setup_observers(observers)
-
-        # Timers: batching, ts flush, liveness checks.
-        for gid, runtime in self.groups.items():
-            offset = (gid + 1) * 1e-4  # desynchronise group timers slightly
-            self.sim.set_timer(
-                batch_timeout + offset,
-                runtime.on_batch_timer,
-                interval=batch_timeout,
-            )
-            if spec.ordering == "async":
-                self.sim.set_timer(
-                    ts_flush_interval + offset,
-                    runtime.flush_ts_outbox,
-                    interval=ts_flush_interval,
-                )
-                self.sim.set_timer(
-                    0.25 + offset,
-                    runtime.check_instance_liveness,
-                    interval=0.25,
-                )
-
-    # ------------------------------------------------------------------
-    # Observers
-    # ------------------------------------------------------------------
-
-    def _setup_observers(self, observers: str) -> None:
-        for runtime in self.groups.values():
-            watchers = (
-                list(runtime.members) if observers == "all" else [runtime.members[0]]
-            )
-            for node in watchers:
-                node.is_observer = True
-                from repro.ledger.ledger import GlobalLedger
-
-                node.ledger = GlobalLedger(self.n_groups)
-                executor = AriaExecutor()
-                if self.execution == "full":
-                    self.workload.populate(executor.store)
-                    self.workload.register(executor)
-                node.pipeline = ExecutionPipeline(executor)
-                if self.spec.ordering == "async":
-                    node.orderer = DeterministicOrderer(
-                        self.n_groups,
-                        self._make_execute_callback(node),
-                        strict=False,
-                    )
-                elif self.spec.ordering == "round":
-                    node.orderer = RoundBasedOrderer(
-                        self.n_groups, self._make_execute_callback(node)
-                    )
-                else:
-                    node.orderer = _SequenceOrderer(
-                        self._make_execute_callback(node)
-                    )
-
-    def _make_execute_callback(self, node: GeoNode):
-        def on_execute(entry_id: EntryId) -> None:
-            entry = self.entries.get(entry_id)
-            if entry is None:
-                return
-            if node.ledger is not None:
-                node.ledger.append(entry)
-            result = node.pipeline.execute_entry(entry.transactions)
-            cost = self.costs.execute_seconds(entry.tx_count)
-            node.consume_cpu(cost, _noop)
-            self.groups[node.gid].note_executed_round(entry_id)
-            # Measure once, at the origin group's first observer.
-            if node.gid == entry_id.gid and node.index == self._observer_index(
-                entry_id.gid
-            ):
-                now = self.sim.now
-                self.metrics.stamp(entry_id, "executed", now)
-                for tx in result.committed:
-                    self.metrics.record_commit(tx.created_at, now, entry_id.gid)
-                self.metrics.record_aborts(len(result.aborted), now)
-            # Entries fully executed everywhere could be pruned; keeping
-            # them allows post-run ledger audits in tests.
-
-        return on_execute
-
-    def _observer_index(self, gid: int) -> int:
-        return self.groups[gid].members[0].index
-
-    # ------------------------------------------------------------------
-    # Steward slot token
-    # ------------------------------------------------------------------
-
-    def steward_owner(self) -> int:
-        """Steward is single-master: the lowest live group leads every slot."""
-        for gid in range(self.n_groups):
-            if not self.groups[gid].crashed:
-                return gid
-        return 0
-
-    def steward_take_slot(self) -> int:
-        slot = self._steward_next_slot
-        self._steward_next_slot += 1
-        self.steward_in_flight = True
-        return slot
-
-    def steward_commit_slot(self, slot: int) -> None:
-        if slot >= 0:
-            self._steward_committed = max(self._steward_committed, slot)
-            self.steward_in_flight = False
-
-    def steward_slot_of(self, entry_id: EntryId) -> int:
-        for runtime in self.groups.values():
-            slot = runtime._entry_slot.get(entry_id)
-            if slot is not None:
-                return slot
-        return -1
-
-    # ------------------------------------------------------------------
-    # Helpers
-    # ------------------------------------------------------------------
-
-    def other_groups(self, gid: int) -> List[int]:
-        return [g for g in range(self.n_groups) if g != gid]
-
-    def observer_of(self, gid: int) -> GeoNode:
-        return self.groups[gid].members[0]
-
-    # ------------------------------------------------------------------
-    # Failure injection
-    # ------------------------------------------------------------------
-
-    def crash_group_at(self, gid: int, at: float) -> None:
-        """Schedule a whole-datacenter outage (Fig 15's solid line)."""
-
-        def crash() -> None:
-            for node in self.groups[gid].members:
-                node.crash()
-
-        self.sim.schedule_at(at, crash)
-
-    def make_byzantine_at(
-        self,
-        gid: int,
-        count: int,
-        at: float,
-        indices: Optional[List[int]] = None,
-    ) -> None:
-        """Turn ``count`` non-representative members Byzantine at ``at``.
-
-        ``indices`` selects specific member indices (the worst case has
-        faulty senders and faulty receivers at *disjoint* plan positions;
-        with equal-size groups the plan maps sender i to receiver i, so
-        overlapping indices are a weaker adversary).
-        """
-
-        def corrupt() -> None:
-            if indices is not None:
-                victims = [self.groups[gid].members[i] for i in indices]
-            else:
-                victims = [
-                    n for n in self.groups[gid].members if not n.is_observer
-                ][:count]
-            for node in victims:
-                node.make_byzantine()
-
-        self.sim.schedule_at(at, corrupt)
-
-    def set_node_bandwidth_at(
-        self, addr: NodeAddress, bandwidth: float, at: float
-    ) -> None:
-        self.sim.schedule_at(
-            at, lambda: self.network.set_node_bandwidth(addr, bandwidth)
-        )
-
-    # ------------------------------------------------------------------
-    # Run
-    # ------------------------------------------------------------------
-
-    def run(self, duration: float, warmup: float = 0.0) -> RunMetrics:
-        """Advance the simulation ``duration`` seconds and report.
-
-        ``warmup`` seconds at the start are excluded from all metrics
-        (traffic counters are reset at the warmup boundary too).
-        """
-        if warmup >= duration:
-            raise ValueError("warmup must be shorter than the run")
-        self.metrics.warmup = warmup
-        if warmup > 0:
-            self.sim.schedule_at(warmup, self.network.reset_traffic_accounting)
-        self.sim.run(until=duration)
-        self.metrics.end_time = duration
-        return self.metrics
+__all__ = [
+    "AcceptValue",
+    "ClientLoad",
+    "CommitValue",
+    "GeoDeployment",
+    "GeoNode",
+    "GroupRuntime",
+    "ProtocolSpec",
+    "SequenceOrderer",
+    "StageOverrides",
+    "_SequenceOrderer",
+]

@@ -15,9 +15,10 @@ ebr           encoded       raft               round      erasure-coded
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict
 
-from repro.protocols.base import ProtocolSpec
+from repro.protocols.runtime.spec import ProtocolSpec, StageOverrides
 
 
 def massbft(overlap_vts: bool = True) -> ProtocolSpec:
@@ -109,14 +110,40 @@ _FACTORIES = {
 }
 
 
-def protocol_by_name(name: str) -> ProtocolSpec:
-    """Resolve a protocol spec from its (case-insensitive) name."""
+#: StageOverrides factory slots accepted as keyword overrides.
+_STAGE_SLOTS = ("global_phase", "transport", "orderer")
+
+
+def protocol_by_name(name: str, **overrides) -> ProtocolSpec:
+    """Resolve a protocol spec from its (case-insensitive) name.
+
+    Keyword ``overrides`` customise the returned spec: plain
+    :class:`ProtocolSpec` fields replace configuration (e.g.
+    ``ordering="round"``), while the stage slots ``global_phase`` /
+    ``transport`` / ``orderer`` install :class:`StageOverrides`
+    factories, swapping whole runtime stages::
+
+        spec = protocol_by_name("massbft", global_phase=MyPhase)
+    """
     factory = _FACTORIES.get(name.lower())
     if factory is None:
         raise ValueError(
             f"unknown protocol {name!r}; known: {sorted(_FACTORIES)}"
         )
-    return factory()
+    spec = factory()
+    if not overrides:
+        return spec
+    return spec_with_overrides(spec, **overrides)
+
+
+def spec_with_overrides(spec: ProtocolSpec, **overrides) -> ProtocolSpec:
+    """A copy of ``spec`` with field and/or stage-factory overrides."""
+    stage_kwargs = {
+        key: overrides.pop(key) for key in _STAGE_SLOTS if key in overrides
+    }
+    if stage_kwargs:
+        overrides["stages"] = StageOverrides(**stage_kwargs)
+    return replace(spec, **overrides)
 
 
 def feature_table() -> Dict[str, Dict[str, str]]:
@@ -155,6 +182,21 @@ def feature_table() -> Dict[str, Dict[str, str]]:
             "replication": "Bijective",
             "consensus": "Raft",
             "ordering": "Async.",
+            "coding": "Erasure-coded",
+        },
+        # The Fig 12 ablation rungs between Baseline and full MassBFT.
+        "BR": {
+            "multi_master": "Y",
+            "replication": "Bijective",
+            "consensus": "Raft",
+            "ordering": "Sync.",
+            "coding": "Entire block",
+        },
+        "EBR": {
+            "multi_master": "Y",
+            "replication": "Bijective",
+            "consensus": "Raft",
+            "ordering": "Sync.",
             "coding": "Erasure-coded",
         },
     }

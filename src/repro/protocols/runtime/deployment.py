@@ -1,0 +1,280 @@
+"""The composition root: build a deployment by wiring stages together.
+
+One :class:`GeoDeployment` assembles a complete simulated system from a
+cluster topology and a :class:`~repro.protocols.runtime.spec.ProtocolSpec`:
+
+* per-group client load (:mod:`~repro.protocols.runtime.load`, open-loop
+  arrivals batched on the paper's 20 ms batch timer);
+* local PBFT consensus per group (:mod:`~repro.protocols.runtime.local`);
+* a replication transport (:mod:`~repro.protocols.runtime.dissemination`);
+* a global consensus phase — Raft propose/accept/commit, direct
+  broadcast, or serialised slots
+  (:mod:`~repro.protocols.runtime.global_phase`);
+* ordering and Aria execution at observers
+  (:mod:`~repro.protocols.runtime.ordering_exec`);
+* failure injection (:mod:`~repro.protocols.runtime.faults`).
+
+Stages communicate through the typed event bus
+(:mod:`~repro.protocols.runtime.events`), which also feeds
+:class:`repro.bench.metrics.RunMetrics`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bench.metrics import RunMetrics
+from repro.core.entry import EntryId, LogEntry
+from repro.core.replication import DEFAULT_CERT_SIZE
+from repro.costs import CostModel
+from repro.crypto.keystore import KeyStore
+from repro.protocols.runtime.dissemination import DisseminationStage, build_transport
+from repro.protocols.runtime.events import EventBus, MetricsBridge, StageTrace
+from repro.protocols.runtime.faults import FaultInjector
+from repro.protocols.runtime.global_phase import (
+    DirectBroadcastPhase,
+    GlobalPhase,
+    RaftGlobalPhase,
+    SerialSlotPhase,
+    SlotToken,
+)
+from repro.protocols.runtime.group import GroupRuntime
+from repro.protocols.runtime.load import ClientLoad
+from repro.protocols.runtime.node import GeoNode
+from repro.protocols.runtime.ordering_exec import OrderingExecStage
+from repro.protocols.runtime.spec import ProtocolSpec
+from repro.sim.core import Simulator
+from repro.sim.network import Network, NodeAddress
+from repro.sim.rng import RngRegistry
+from repro.topology.cluster import ClusterConfig
+from repro.workloads.base import Workload
+
+
+class GeoDeployment:
+    """Builds and drives one simulated deployment of a protocol.
+
+    Typical benchmark usage::
+
+        deployment = GeoDeployment(cluster, massbft(), workload,
+                                   offered_load=30_000)
+        metrics = deployment.run(duration=2.0, warmup=0.5)
+        print(metrics.throughput, metrics.mean_latency)
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterConfig,
+        spec: ProtocolSpec,
+        workload: Workload,
+        offered_load: float = 30_000.0,
+        batch_timeout: float = 0.020,
+        max_batch_txns: Optional[int] = None,
+        pipeline_window: int = 32,
+        round_window: int = 8,
+        coding: str = "simulated",
+        execution: str = "modeled",
+        observers: str = "leaders",
+        costs: Optional[CostModel] = None,
+        seed: int = 0,
+        takeover_timeout: float = 1.0,
+        ts_flush_interval: float = 0.005,
+        client_queue_seconds: float = 0.06,
+        cert_size: int = DEFAULT_CERT_SIZE,
+        wan_backlog_cap: float = 0.12,
+        cpu_backlog_cap: float = 0.08,
+    ) -> None:
+        """``offered_load`` is client transactions/second *per group*;
+        ``max_batch_txns`` defaults to one batch-timeout's worth of
+        arrivals (so a fast group cannot mask a sync-ordering stall by
+        growing its batches without bound)."""
+        if coding not in ("real", "simulated"):
+            raise ValueError(f"unknown coding mode {coding!r}")
+        if execution not in ("full", "modeled"):
+            raise ValueError(f"unknown execution mode {execution!r}")
+        if observers not in ("leaders", "all"):
+            raise ValueError("observers must be 'leaders' or 'all'")
+        self.cluster = cluster
+        self.spec = spec
+        self.workload = workload
+        if isinstance(offered_load, dict):
+            self.offered_load = dict(offered_load)
+        else:
+            self.offered_load = {
+                g.gid: float(offered_load) for g in cluster.groups
+            }
+        self.batch_timeout = batch_timeout
+        # One batch holds at most a batch-timeout's worth of arrivals
+        # (the paper fixes the batch timeout at 20 ms).
+        self.max_batch_txns = max_batch_txns or max(
+            1, int(max(self.offered_load.values()) * batch_timeout)
+        )
+        self.pipeline_window = pipeline_window
+        self.round_window = round_window
+        self.coding = coding
+        self.execution = execution
+        self.costs = costs or CostModel()
+        self.seed = seed
+        self.takeover_timeout = takeover_timeout
+        self.ts_flush_interval = ts_flush_interval
+        self.cert_size = cert_size
+        self.wan_backlog_cap = wan_backlog_cap
+        self.cpu_backlog_cap = cpu_backlog_cap
+        self.materialize_payloads = coding == "real" or execution == "full"
+
+        self.rng = RngRegistry(seed)
+        self.sim = Simulator()
+        self.network = Network(
+            self.sim,
+            rtt_matrix=cluster.rtt_matrix,
+            lan_bandwidth=cluster.lan_bandwidth,
+            wan_bandwidth=cluster.wan_bandwidth,
+            lan_latency=cluster.lan_latency,
+            rng=self.rng,
+        )
+        self.keystore = KeyStore(seed=seed)
+        self.n_groups = cluster.n_groups
+        self.f_g = cluster.f_g
+        self.entries: Dict[EntryId, LogEntry] = {}
+
+        # Event bus + metrics (the bridge is just another subscriber).
+        self.bus = EventBus()
+        self.metrics = RunMetrics(self.n_groups)
+        self._metrics_bridge = MetricsBridge(self.bus, self.metrics)
+
+        # Steward's deployment-wide slot token, shared by all groups.
+        self._slot_token = (
+            SlotToken(self) if spec.global_consensus == "serial" else None
+        )
+
+        # Build nodes and groups.
+        self.nodes: Dict[NodeAddress, GeoNode] = {}
+        self.groups: Dict[int, GroupRuntime] = {}
+        for group_cfg in cluster.groups:
+            members: List[GeoNode] = []
+            for index in range(group_cfg.n_nodes):
+                addr = NodeAddress(group_cfg.gid, index)
+                node = GeoNode(
+                    self.sim,
+                    self.network,
+                    addr,
+                    self,
+                    wan_bandwidth=group_cfg.bandwidth_of(
+                        index, cluster.wan_bandwidth
+                    ),
+                )
+                node.cpu.rate = self.costs.cpu_cores
+                self.nodes[addr] = node
+                members.append(node)
+            load = ClientLoad(
+                workload,
+                rate=self.offered_load[group_cfg.gid],
+                rng=self.rng.stream(f"load.g{group_cfg.gid}"),
+                queue_seconds=client_queue_seconds,
+            )
+            self.groups[group_cfg.gid] = GroupRuntime(
+                self, group_cfg.gid, members, load
+            )
+
+        # Wire global message handlers (all nodes; reps act on them).
+        for node in self.nodes.values():
+            self.groups[node.gid].global_phase.register_handlers(node)
+
+        # Transport + dissemination.
+        members_by_gid = {g: list(rt.members) for g, rt in self.groups.items()}
+        deliver = lambda node, entry_id: node.on_entry_available(entry_id)
+        get_entry = lambda entry_id: self.entries[entry_id]
+        if spec.stages is not None and spec.stages.transport is not None:
+            self.transport = spec.stages.transport(
+                self, members_by_gid, deliver, get_entry
+            )
+        else:
+            self.transport = build_transport(
+                spec, members_by_gid, deliver, get_entry,
+                self.costs, cert_size, coding,
+            )
+        self.dissemination = DisseminationStage(self, self.transport)
+
+        # Observers: ordering + execution + measurement.
+        self.ordering_exec = OrderingExecStage(self)
+        self.ordering_exec.setup_observers(observers)
+
+        # Failure injection.
+        self.faults = FaultInjector(self)
+
+        # Timers: batching, then each phase's periodic work.
+        for gid, group in self.groups.items():
+            offset = (gid + 1) * 1e-4  # desynchronise group timers slightly
+            self.sim.set_timer(
+                batch_timeout + offset,
+                group.on_batch_timer,
+                interval=batch_timeout,
+            )
+            group.global_phase.install_timers(offset)
+
+    # ------------------------------------------------------------------
+    # Stage selection
+    # ------------------------------------------------------------------
+
+    def make_global_phase(self, group: GroupRuntime) -> GlobalPhase:
+        """Instantiate the spec's global phase for one group."""
+        if self.spec.stages is not None and self.spec.stages.global_phase:
+            return self.spec.stages.global_phase(group)
+        if self.spec.global_consensus == "none":
+            return DirectBroadcastPhase(group)
+        if self.spec.global_consensus == "serial":
+            return SerialSlotPhase(group, self._slot_token)
+        return RaftGlobalPhase(group)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def other_groups(self, gid: int) -> List[int]:
+        return [g for g in range(self.n_groups) if g != gid]
+
+    def observer_of(self, gid: int) -> GeoNode:
+        return self.groups[gid].members[0]
+
+    def attach_trace(self) -> StageTrace:
+        """Subscribe a :class:`StageTrace` to this deployment's bus."""
+        return StageTrace.attach(self.bus)
+
+    # ------------------------------------------------------------------
+    # Failure injection (delegates to the faults stage)
+    # ------------------------------------------------------------------
+
+    def crash_group_at(self, gid: int, at: float) -> None:
+        self.faults.crash_group_at(gid, at)
+
+    def make_byzantine_at(
+        self,
+        gid: int,
+        count: int,
+        at: float,
+        indices: Optional[List[int]] = None,
+    ) -> None:
+        self.faults.make_byzantine_at(gid, count, at, indices)
+
+    def set_node_bandwidth_at(
+        self, addr: NodeAddress, bandwidth: float, at: float
+    ) -> None:
+        self.faults.set_node_bandwidth_at(addr, bandwidth, at)
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+
+    def run(self, duration: float, warmup: float = 0.0) -> RunMetrics:
+        """Advance the simulation ``duration`` seconds and report.
+
+        ``warmup`` seconds at the start are excluded from all metrics
+        (traffic counters are reset at the warmup boundary too).
+        """
+        if warmup >= duration:
+            raise ValueError("warmup must be shorter than the run")
+        self.metrics.warmup = warmup
+        if warmup > 0:
+            self.sim.schedule_at(warmup, self.network.reset_traffic_accounting)
+        self.sim.run(until=duration)
+        self.metrics.end_time = duration
+        return self.metrics

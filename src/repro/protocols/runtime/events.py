@@ -1,0 +1,197 @@
+"""The typed in-process event bus wiring the runtime stages together.
+
+Every stage publishes what happened to it (an entry was batched, locally
+committed, became available at a remote representative, committed
+globally, executed) instead of reaching into :class:`RunMetrics`
+directly. Two standard subscribers ship with the runtime:
+
+* :class:`MetricsBridge` feeds :class:`repro.bench.metrics.RunMetrics`,
+  so benchmark reporting is just another bus consumer;
+* :class:`StageTrace` records per-entry stage timestamps and queue-depth
+  samples — the instrumentation seam tests and benchmarks assert on.
+
+Publishing is synchronous and deterministic: handlers run immediately,
+in subscription order, on the simulated thread that published.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple, Type
+
+from repro.bench.metrics import RunMetrics
+from repro.core.entry import EntryId
+
+
+# ----------------------------------------------------------------------
+# Events (one frozen dataclass per topic)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EntryBatched:
+    """The load stage formed an entry from pending client arrivals."""
+
+    entry_id: EntryId
+    at: float
+    tx_count: int
+    mean_wait: float
+
+
+@dataclass(frozen=True)
+class EntryLocallyCommitted:
+    """Local PBFT consensus on the entry completed at the representative."""
+
+    entry_id: EntryId
+    at: float
+
+
+@dataclass(frozen=True)
+class EntryAvailableRemote:
+    """The entry was rebuilt/received at a remote group's representative."""
+
+    entry_id: EntryId
+    at: float
+    observer_gid: int
+
+
+@dataclass(frozen=True)
+class EntryGloballyCommitted:
+    """The origin group gathered f_g+1 accepts and committed globally."""
+
+    entry_id: EntryId
+    at: float
+
+
+@dataclass(frozen=True)
+class EntryExecuted:
+    """The entry executed at its origin group's measurement observer.
+
+    ``commit_times`` carries the ``created_at`` stamp of every committed
+    transaction so latency accounting needs no second lookup.
+    """
+
+    entry_id: EntryId
+    at: float
+    gid: int
+    commit_times: Tuple[float, ...]
+    aborted: int
+
+
+@dataclass(frozen=True)
+class QueueDepthsSampled:
+    """Admission-gate snapshot taken when a group evaluates its windows."""
+
+    gid: int
+    at: float
+    wan_backlog: float
+    cpu_backlog: float
+
+
+@dataclass(frozen=True)
+class ProposalGated:
+    """A batch timer fired but admission control held the proposal."""
+
+    gid: int
+    at: float
+    reason: str  # "wan" | "cpu" | "phase" | "window"
+
+
+# ----------------------------------------------------------------------
+# Bus
+# ----------------------------------------------------------------------
+
+
+class EventBus:
+    """Synchronous publish/subscribe keyed by event type."""
+
+    __slots__ = ("_subscribers",)
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[Type, List[Callable[[Any], None]]] = {}
+
+    def subscribe(self, event_type: Type, handler: Callable[[Any], None]) -> None:
+        self._subscribers.setdefault(event_type, []).append(handler)
+
+    def publish(self, event: Any) -> None:
+        handlers = self._subscribers.get(type(event))
+        if handlers:
+            for handler in handlers:
+                handler(event)
+
+
+# ----------------------------------------------------------------------
+# Standard subscribers
+# ----------------------------------------------------------------------
+
+
+class MetricsBridge:
+    """Feeds :class:`RunMetrics` from bus traffic.
+
+    This is the only place the runtime touches the metrics object, which
+    keeps the stage modules measurement-free and lets alternative
+    collectors (traces, live dashboards) subscribe beside it.
+    """
+
+    def __init__(self, bus: EventBus, metrics: RunMetrics) -> None:
+        self.metrics = metrics
+        bus.subscribe(EntryBatched, self._on_batched)
+        bus.subscribe(EntryLocallyCommitted, self._on_local_committed)
+        bus.subscribe(EntryAvailableRemote, self._on_available_remote)
+        bus.subscribe(EntryGloballyCommitted, self._on_global_committed)
+        bus.subscribe(EntryExecuted, self._on_executed)
+
+    def _on_batched(self, event: EntryBatched) -> None:
+        self.metrics.stamp(event.entry_id, "batched", event.at)
+        self.metrics.record_batch(event.tx_count, event.mean_wait)
+
+    def _on_local_committed(self, event: EntryLocallyCommitted) -> None:
+        self.metrics.stamp(event.entry_id, "local_committed", event.at)
+
+    def _on_available_remote(self, event: EntryAvailableRemote) -> None:
+        self.metrics.stamp(event.entry_id, "available_remote", event.at)
+
+    def _on_global_committed(self, event: EntryGloballyCommitted) -> None:
+        self.metrics.stamp(event.entry_id, "global_committed", event.at)
+
+    def _on_executed(self, event: EntryExecuted) -> None:
+        self.metrics.stamp(event.entry_id, "executed", event.at)
+        for created_at in event.commit_times:
+            self.metrics.record_commit(created_at, event.at, event.gid)
+        self.metrics.record_aborts(event.aborted, event.at)
+
+
+@dataclass
+class StageTrace:
+    """Per-entry stage timeline + queue-depth samples, for assertions.
+
+    Attach with ``trace = StageTrace.attach(deployment.bus)`` (or use
+    :meth:`GeoDeployment.attach_trace`), run, then inspect
+    ``trace.stamps[entry_id]["local_committed"]`` or
+    ``trace.queue_samples``.
+    """
+
+    stamps: Dict[EntryId, Dict[str, float]] = field(default_factory=dict)
+    queue_samples: List[QueueDepthsSampled] = field(default_factory=list)
+    gated: List[ProposalGated] = field(default_factory=list)
+
+    _STAGE_OF = {
+        EntryBatched: "batched",
+        EntryLocallyCommitted: "local_committed",
+        EntryAvailableRemote: "available_remote",
+        EntryGloballyCommitted: "global_committed",
+        EntryExecuted: "executed",
+    }
+
+    @classmethod
+    def attach(cls, bus: EventBus) -> "StageTrace":
+        trace = cls()
+        for event_type in cls._STAGE_OF:
+            bus.subscribe(event_type, trace._on_stage)
+        bus.subscribe(QueueDepthsSampled, trace.queue_samples.append)
+        bus.subscribe(ProposalGated, trace.gated.append)
+        return trace
+
+    def _on_stage(self, event: Any) -> None:
+        stage = self._STAGE_OF[type(event)]
+        self.stamps.setdefault(event.entry_id, {})[stage] = event.at

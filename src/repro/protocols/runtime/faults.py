@@ -1,0 +1,66 @@
+"""Fault injection stage: the Fig 15 failure experiments.
+
+Schedules whole-group crashes (with instance takeover downstream),
+Byzantine chunk tampering, and per-node bandwidth degradation against a
+running deployment. Kept apart from the protocol stages so failure
+scenarios compose with any protocol.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.network import NodeAddress
+
+
+class FaultInjector:
+    """Schedules failures against one deployment."""
+
+    def __init__(self, deployment) -> None:
+        self.deployment = deployment
+
+    def crash_group_at(self, gid: int, at: float) -> None:
+        """Schedule a whole-datacenter outage (Fig 15's solid line)."""
+        deployment = self.deployment
+
+        def crash() -> None:
+            for node in deployment.groups[gid].members:
+                node.crash()
+
+        deployment.sim.schedule_at(at, crash)
+
+    def make_byzantine_at(
+        self,
+        gid: int,
+        count: int,
+        at: float,
+        indices: Optional[List[int]] = None,
+    ) -> None:
+        """Turn ``count`` non-representative members Byzantine at ``at``.
+
+        ``indices`` selects specific member indices (the worst case has
+        faulty senders and faulty receivers at *disjoint* plan positions;
+        with equal-size groups the plan maps sender i to receiver i, so
+        overlapping indices are a weaker adversary).
+        """
+        deployment = self.deployment
+
+        def corrupt() -> None:
+            if indices is not None:
+                victims = [deployment.groups[gid].members[i] for i in indices]
+            else:
+                victims = [
+                    n for n in deployment.groups[gid].members if not n.is_observer
+                ][:count]
+            for node in victims:
+                node.make_byzantine()
+
+        deployment.sim.schedule_at(at, corrupt)
+
+    def set_node_bandwidth_at(
+        self, addr: NodeAddress, bandwidth: float, at: float
+    ) -> None:
+        deployment = self.deployment
+        deployment.sim.schedule_at(
+            at, lambda: deployment.network.set_node_bandwidth(addr, bandwidth)
+        )

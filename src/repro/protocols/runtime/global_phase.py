@@ -1,0 +1,400 @@
+"""Global consensus phase: group-as-replica agreement across the WAN.
+
+A :class:`GlobalPhase` is the per-group strategy object deciding what
+happens after an entry commits locally. Three implementations cover the
+paper's protocol space:
+
+* :class:`RaftGlobalPhase` — MassBFT/Baseline/ISS/BR/EBR: ``n_g``
+  parallel Raft instances (propose -> accept -> commit with accept- and
+  commit-phase local PBFT rounds), VTS piggybacking, and crashed-group
+  takeover (Section V-C, via :class:`TakeoverMixin`).
+* :class:`DirectBroadcastPhase` — GeoBFT: availability *is* commitment;
+  no global messages at all.
+* :class:`SerialSlotPhase` — Steward: the Raft machinery gated by a
+  deployment-wide :class:`SlotToken` so one global slot is in flight at
+  a time, committed in slot order.
+
+Custom protocols plug in by passing a ``global_phase`` factory through
+:class:`repro.protocols.runtime.spec.StageOverrides`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.entry import EntryId, LogEntry
+from repro.core.global_raft import (
+    GRAccept,
+    GRCommit,
+    GRPropose,
+    GRTakeoverRequest,
+    GRTakeoverVote,
+    GRTsReplicate,
+    InstanceState,
+    LocalCommitNotice,
+    LocalTsNotice,
+)
+from repro.protocols.runtime.events import EntryGloballyCommitted
+from repro.protocols.runtime.ordering_exec import SequenceOrderer
+from repro.protocols.runtime.slots import SlotToken
+from repro.protocols.runtime.takeover import TakeoverMixin
+from repro.protocols.runtime.values import AcceptValue, CommitValue
+
+
+class GlobalPhase:
+    """Interface every global consensus strategy implements (per group)."""
+
+    def __init__(self, group) -> None:
+        self.group = group
+        self.deployment = group.deployment
+        self.spec = group.spec
+        self.sim = group.sim
+        self.gid = group.gid
+        self.instances: Dict[int, InstanceState] = {}
+
+    # Wiring -----------------------------------------------------------
+    def register_handlers(self, node) -> None:
+        """Attach this phase's WAN message handlers to ``node``."""
+
+    def install_timers(self, offset: float) -> None:
+        """Register the phase's periodic work (flushes, liveness checks)."""
+
+    # Hooks, in pipeline order ----------------------------------------
+    def may_propose(self) -> bool:
+        """Phase-specific admission (e.g. Steward's slot token)."""
+        return True
+
+    def on_entry_batched(self, entry: LogEntry) -> None:
+        """A new entry formed at this group (pre local consensus)."""
+
+    def on_local_entry_committed(self, node, entry: LogEntry) -> None:
+        """Entry certified by local PBFT at the representative."""
+
+    def on_entry_available(self, node, entry_id: EntryId) -> None:
+        """Entry body present and verified at ``node``."""
+
+    def on_accept_certified(self, node, value: AcceptValue) -> None:
+        """The accept-phase local PBFT round completed."""
+
+    def on_commit_certified(self, node, value: CommitValue) -> None:
+        """The commit-phase local PBFT round completed."""
+
+    # Periodic work (Raft phases override) ----------------------------
+    def flush_ts_outbox(self) -> None:
+        pass
+
+    def check_instance_liveness(self) -> None:
+        pass
+
+
+class DirectBroadcastPhase(GlobalPhase):
+    """GeoBFT: no global consensus — replication is commitment."""
+
+    def on_entry_available(self, node, entry_id: EntryId) -> None:
+        # Having the entry is commitment; each node feeds its own
+        # (round) orderer directly.
+        node.on_global_commit(entry_id.gid, entry_id.seq)
+        if entry_id.gid == self.gid:
+            self.group.last_own_committed = max(
+                self.group.last_own_committed, entry_id.seq
+            )
+
+
+class RaftGlobalPhase(TakeoverMixin, GlobalPhase):
+    """The group-as-replica global Raft engine (Section V-A)."""
+
+    def __init__(self, group) -> None:
+        super().__init__(group)
+        self.instances = {
+            g: InstanceState(instance=g) for g in range(group.deployment.n_groups)
+        }
+        self.ts_outbox: List[Tuple[int, int, int]] = []
+
+    def register_handlers(self, node) -> None:
+        node.on(GRPropose, lambda m, n=node: self.on_gr_propose(n, m))
+        node.on(GRAccept, lambda m, n=node: self.on_gr_accept(n, m))
+        node.on(GRCommit, lambda m, n=node: self.on_gr_commit(n, m))
+        node.on(GRTsReplicate, lambda m, n=node: self.on_gr_ts_replicate(n, m))
+        node.on(
+            GRTakeoverRequest, lambda m, n=node: self.on_takeover_request(n, m)
+        )
+        node.on(GRTakeoverVote, lambda m, n=node: self.on_takeover_vote(n, m))
+
+    def install_timers(self, offset: float) -> None:
+        if self.spec.ordering != "async":
+            return
+        deployment = self.deployment
+        deployment.sim.set_timer(
+            deployment.ts_flush_interval + offset,
+            self.flush_ts_outbox,
+            interval=deployment.ts_flush_interval,
+        )
+        deployment.sim.set_timer(
+            0.25 + offset, self.check_instance_liveness, interval=0.25
+        )
+
+    # ------------------------------------------------------------------
+    # Proposer side: initiate global consensus on our own instance
+    # ------------------------------------------------------------------
+
+    def on_local_entry_committed(self, node, entry: LogEntry) -> None:
+        state = self.instances[self.gid]
+        state.outstanding_entry(entry.seq).accepts.add(self.gid)
+        assignments = tuple(self.ts_outbox)
+        self.ts_outbox.clear()
+        propose = GRPropose(
+            instance=self.gid,
+            seq=entry.seq,
+            digest=entry.digest,
+            entry_size=entry.size_bytes,
+            tx_count=entry.tx_count,
+            cert_size=self.deployment.cert_size,
+            ts_assignments=assignments,
+        )
+        for gid in self.deployment.other_groups(self.gid):
+            rep = self.deployment.groups[gid].rep
+            node.send(rep.addr, propose, propose.size_bytes, priority=True)
+        if assignments:
+            self._notify_ts(node, [(self.gid, g, s, t) for (g, s, t) in assignments])
+        # If we lead a takeover, our own entries also need the crashed
+        # group's element assigned on its behalf.
+        self._takeover_assign(node, self.gid, entry.seq)
+
+    def on_entry_available(self, node, entry_id: EntryId) -> None:
+        if entry_id.gid != self.gid and self.group.is_rep(node):
+            slot = self.instances[entry_id.gid].slot(entry_id.seq)
+            self._try_accept(node, entry_id.gid, slot)
+
+    # ------------------------------------------------------------------
+    # Follower side
+    # ------------------------------------------------------------------
+
+    def on_gr_propose(self, node, msg) -> None:
+        propose: GRPropose = msg.payload
+        if not self.group.is_rep(node) or node.crashed:
+            return
+        state = self.instances[propose.instance]
+        state.last_heard = self.sim.now
+        state.frozen_clock = max(state.frozen_clock, propose.seq)
+        if propose.ts_assignments:
+            self._notify_ts(
+                node,
+                [
+                    (propose.instance, g, s, t)
+                    for (g, s, t) in propose.ts_assignments
+                ],
+            )
+        slot = state.slot(propose.seq)
+        slot.propose_received = True
+        if self.spec.ordering == "async" and slot.ts is None and self.spec.overlap_vts:
+            self._assign_ts(node, state, slot, propose.instance)
+        # A takeover leader also assigns the crashed group's element.
+        self._takeover_assign(node, propose.instance, propose.seq)
+        self._try_accept(node, propose.instance, slot)
+
+    def _assign_ts(self, node, state, slot, instance: int) -> None:
+        slot.ts = self.group.clock.read()
+        # Replicate through our own instance: queue for piggyback; the
+        # accept broadcast (MassBFT) also carries it promptly.
+        self.ts_outbox.append((instance, slot.seq, slot.ts))
+        self._notify_ts(node, [(self.gid, instance, slot.seq, slot.ts)])
+
+    def _try_accept(self, node, instance: int, slot) -> None:
+        if slot.accept_pbft_started or not slot.propose_received:
+            return
+        entry_id = EntryId(instance, slot.seq)
+        if entry_id not in node.available_entries:
+            return
+        if slot.ts is None:
+            if self.spec.ordering == "async":
+                if not self.spec.overlap_vts:
+                    slot.ts = self.group.clock.read()
+                    self.ts_outbox.append((instance, slot.seq, slot.ts))
+                    self._notify_ts(node, [(self.gid, instance, slot.seq, slot.ts)])
+                else:
+                    self._assign_ts(node, self.instances[instance], slot, instance)
+            else:
+                slot.ts = 0
+        slot.accept_pbft_started = True
+        # The accept itself reaches local PBFT consensus (prepare skipped:
+        # the value is already certified by the sender group).
+        self.group.local.certify(
+            AcceptValue(instance=instance, seq=slot.seq, ts=slot.ts)
+        )
+
+    def on_accept_certified(self, node, value: AcceptValue) -> None:
+        if not self.group.is_rep(node):
+            return
+        deployment = self.deployment
+        accept = GRAccept(
+            instance=value.instance,
+            seq=value.seq,
+            from_gid=self.gid,
+            ts=value.ts,
+            cert_size=deployment.cert_size,
+        )
+        slot = self.instances[value.instance].slot(value.seq)
+        slot.accept_sent = True
+        if self.spec.ordering == "async":
+            # MassBFT broadcasts accepts to every representative: the
+            # slow-receiver notification and the VTS replication vehicle.
+            for gid in deployment.other_groups(self.gid):
+                rep = deployment.groups[gid].rep
+                node.send(rep.addr, accept, accept.size_bytes, priority=True)
+        else:
+            owner = deployment.groups[value.instance]
+            node.send(owner.rep.addr, accept, accept.size_bytes, priority=True)
+
+    # ------------------------------------------------------------------
+    # Leader side
+    # ------------------------------------------------------------------
+
+    def on_gr_accept(self, node, msg) -> None:
+        accept: GRAccept = msg.payload
+        if not self.group.is_rep(node) or node.crashed:
+            return
+        deployment = self.deployment
+        if self.spec.ordering == "async" and accept.ts >= 0:
+            self._notify_ts(
+                node, [(accept.from_gid, accept.instance, accept.seq, accept.ts)]
+            )
+        state = self.instances[accept.instance]
+        if accept.seq <= state.committed_through:
+            return  # late accept for an already-committed entry
+        if accept.instance == self.gid:
+            out = state.outstanding_entry(accept.seq)
+            out.accepts.add(accept.from_gid)
+            quorum = deployment.f_g + 1
+            if len(out.accepts) >= quorum and not out.commit_pbft_started:
+                out.commit_pbft_started = True
+                entry_id = EntryId(self.gid, accept.seq)
+                self.group.local.certify(
+                    CommitValue(
+                        instance=self.gid,
+                        seq=accept.seq,
+                        slot=self._slot_of(entry_id),
+                    )
+                )
+        else:
+            # Accept broadcast from a sibling follower (slow-receiver
+            # path): after f_g+1 accepts we may assign our clock even
+            # without holding the entry yet.
+            slot = state.slot(accept.seq)
+            slot.propose_received = True
+            state.last_heard = self.sim.now
+            if (
+                self.spec.ordering == "async"
+                and slot.ts is None
+                and self.spec.overlap_vts
+            ):
+                self._assign_ts(node, state, slot, accept.instance)
+            self._try_accept(node, accept.instance, slot)
+
+    def on_commit_certified(self, node, value: CommitValue) -> None:
+        if not self.group.is_rep(node):
+            return
+        commit = GRCommit(
+            instance=value.instance, seq=value.seq, cert_size=self.deployment.cert_size
+        )
+        for gid in self.deployment.other_groups(self.gid):
+            rep = self.deployment.groups[gid].rep
+            node.send(rep.addr, commit, commit.size_bytes, priority=True)
+        self._handle_commit(node, value.instance, value.seq, value.slot)
+
+    def on_gr_commit(self, node, msg) -> None:
+        commit: GRCommit = msg.payload
+        if not self.group.is_rep(node) or node.crashed:
+            return
+        self.instances[commit.instance].last_heard = self.sim.now
+        slot = self._slot_of(EntryId(commit.instance, commit.seq))
+        self._handle_commit(node, commit.instance, commit.seq, slot)
+
+    def _handle_commit(self, node, instance: int, seq: int, slot: int) -> None:
+        group = self.group
+        state = self.instances[instance]
+        state.committed_through = max(state.committed_through, seq)
+        entry_id = EntryId(instance, seq)
+        if instance == self.gid:
+            # Our own entry completed consensus: advance our clock.
+            group.clock.advance_to(seq)
+            group.last_own_committed = max(group.last_own_committed, seq)
+            self.deployment.bus.publish(
+                EntryGloballyCommitted(entry_id, self.sim.now)
+            )
+        state.outstanding.pop(seq, None)
+        state.slots.pop(seq, None)
+        self._on_slot_committed(slot)
+        # Notify group members (round ordering feeds on this).
+        notice = LocalCommitNotice(gid=instance, seq=seq)
+        node.broadcast_local(notice, notice.size_bytes)
+        self._local_commit_at(node, instance, seq, slot)
+
+    def _local_commit_at(self, node, instance: int, seq: int, slot: int) -> None:
+        if isinstance(node.orderer, SequenceOrderer) and slot >= 0:
+            node.orderer.deliver(slot, EntryId(instance, seq))
+        else:
+            node.on_global_commit(instance, seq)
+
+    # Serial-slot hooks (no-ops for plain Raft) ------------------------
+
+    def _slot_of(self, entry_id: EntryId) -> int:
+        return -1
+
+    def _on_slot_committed(self, slot: int) -> None:
+        pass
+
+    # ------------------------------------------------------------------
+    # Timestamp distribution
+    # ------------------------------------------------------------------
+
+    def _notify_ts(self, node, assignments: List[Tuple[int, int, int, int]]) -> None:
+        """Share VTS assignments with all group members (LAN) + self."""
+        if self.spec.ordering != "async":
+            return
+        notice = LocalTsNotice(assignments=tuple(assignments))
+        node.broadcast_local(notice, notice.size_bytes)
+        node.apply_ts_assignments(notice.assignments)
+
+    def flush_ts_outbox(self) -> None:
+        """Periodic flush so idle groups still replicate assignments."""
+        if self.group.crashed or self.spec.ordering != "async":
+            return
+        if not self.ts_outbox:
+            return
+        node = self.group.rep
+        assignments = tuple(self.ts_outbox)
+        self.ts_outbox.clear()
+        flush = GRTsReplicate(assigner=self.gid, assignments=assignments)
+        for gid in self.deployment.other_groups(self.gid):
+            rep = self.deployment.groups[gid].rep
+            node.send(rep.addr, flush, flush.size_bytes, priority=True)
+
+    def on_gr_ts_replicate(self, node, msg) -> None:
+        flush: GRTsReplicate = msg.payload
+        if not self.group.is_rep(node) or node.crashed:
+            return
+        if flush.assigner < self.deployment.n_groups:
+            self.instances[flush.assigner].last_heard = self.sim.now
+        self._notify_ts(
+            node, [(flush.assigner, g, s, t) for (g, s, t) in flush.assignments]
+        )
+
+
+class SerialSlotPhase(RaftGlobalPhase):
+    """Steward: the Raft engine serialised by a shared slot token."""
+
+    def __init__(self, group, token: SlotToken) -> None:
+        super().__init__(group)
+        self.token = token
+
+    def may_propose(self) -> bool:
+        return self.token.owner() == self.gid and not self.token.in_flight
+
+    def on_entry_batched(self, entry: LogEntry) -> None:
+        self.token.take(entry.entry_id)
+
+    def _slot_of(self, entry_id: EntryId) -> int:
+        return self.token.slot_of(entry_id)
+
+    def _on_slot_committed(self, slot: int) -> None:
+        self.token.commit(slot)

@@ -1,0 +1,103 @@
+"""The per-group composition: stages wired together for one group.
+
+A :class:`GroupRuntime` is now a thin facade over the group's stage
+objects — :class:`~repro.protocols.runtime.load.LoadStage`,
+:class:`~repro.protocols.runtime.local.LocalConsensusStage`, and the
+spec-selected :class:`~repro.protocols.runtime.global_phase.GlobalPhase`
+— plus the small amount of genuinely shared group state (local sequence
+counter, group clock, execution watermark). The pre-refactor monolithic
+``GroupRuntime`` API (``try_propose``, ``_window_allows``,
+``instances``, ...) is preserved as delegating members.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.entry import EntryId, LogEntry
+from repro.core.vts import GroupClock
+from repro.protocols.runtime.load import ClientLoad, LoadStage
+from repro.protocols.runtime.local import LocalConsensusStage
+
+
+class GroupRuntime:
+    """Everything group ``G_i`` does, composed from pluggable stages."""
+
+    def __init__(
+        self,
+        deployment,
+        gid: int,
+        members: List,
+        load: Optional[ClientLoad],
+    ) -> None:
+        self.deployment = deployment
+        self.gid = gid
+        self.members = members
+        self.sim = deployment.sim
+        self.spec = deployment.spec
+        self.clock = GroupClock(gid)
+        self.next_seq = 0  # local sequence of the last proposed entry
+        self.last_own_committed = 0
+        self.last_executed_round = 0
+        # Stages.
+        self.local = LocalConsensusStage(self)
+        self.pbft = self.local.pbft
+        self.load_stage = LoadStage(self, load)
+        self.global_phase = deployment.make_global_phase(self)
+
+    # ------------------------------------------------------------------
+    # Roles
+    # ------------------------------------------------------------------
+
+    @property
+    def rep(self):
+        """The group representative (current local PBFT leader)."""
+        return self.pbft.leader
+
+    @property
+    def crashed(self) -> bool:
+        return all(node.crashed for node in self.members)
+
+    def is_rep(self, node) -> bool:
+        return node is self.rep
+
+    # ------------------------------------------------------------------
+    # Stage delegation (the pre-refactor GroupRuntime surface)
+    # ------------------------------------------------------------------
+
+    @property
+    def load(self) -> Optional[ClientLoad]:
+        return self.load_stage.load
+
+    @property
+    def instances(self):
+        return self.global_phase.instances
+
+    def on_batch_timer(self) -> None:
+        self.load_stage.on_batch_timer()
+
+    def try_propose(self) -> Optional[LogEntry]:
+        return self.load_stage.try_propose()
+
+    def _window_allows(self) -> bool:
+        return self.load_stage.window_allows()
+
+    def _senders_backlogged(self) -> bool:
+        return self.load_stage.senders_backlogged()
+
+    def _cpu_backlogged(self) -> bool:
+        return self.load_stage.cpu_backlogged()
+
+    def flush_ts_outbox(self) -> None:
+        self.global_phase.flush_ts_outbox()
+
+    def check_instance_liveness(self) -> None:
+        self.global_phase.check_instance_liveness()
+
+    # ------------------------------------------------------------------
+    # Execution feedback
+    # ------------------------------------------------------------------
+
+    def note_executed_round(self, entry_id: EntryId) -> None:
+        if entry_id.gid == self.gid:
+            self.last_executed_round = max(self.last_executed_round, entry_id.seq)

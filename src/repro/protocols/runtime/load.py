@@ -1,0 +1,232 @@
+"""Client load stage: open-loop arrivals, batching, and admission control.
+
+One :class:`LoadStage` per group. On each batch timer it decides whether
+the group may propose (NIC/CPU backpressure, the global phase's token or
+pipeline window, round/epoch windows), materialises the arrivals that
+accumulated, forms a :class:`LogEntry`, and hands it to the local
+consensus stage. Gate evaluations publish
+:class:`~repro.protocols.runtime.events.QueueDepthsSampled` /
+:class:`~repro.protocols.runtime.events.ProposalGated` so saturation
+behaviour is observable without instrumenting the stage.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.entry import LogEntry
+from repro.ledger.transactions import Transaction, serialize_batch
+from repro.protocols.runtime.events import (
+    EntryBatched,
+    ProposalGated,
+    QueueDepthsSampled,
+)
+from repro.workloads.base import Workload
+
+
+class ClientLoad:
+    """Open-loop client arrivals for one group, generated lazily.
+
+    Arrival times are exact (one every ``1/rate`` seconds) but transaction
+    objects are only materialised when a batch forms, so no per-arrival
+    simulator events exist. A bounded backlog models client admission:
+    arrivals older than ``queue_seconds`` are dropped (clients time out),
+    keeping measured latency meaningful at saturation.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        rate: float,
+        rng,
+        queue_seconds: float = 0.06,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("offered rate must be positive")
+        self.workload = workload
+        self.rate = rate
+        self.rng = rng
+        self.queue_seconds = queue_seconds
+        self._next_arrival = 0.0
+        self.dropped = 0
+
+    def take(self, now: float, max_n: Optional[int] = None) -> List[Transaction]:
+        """Materialise the transactions that arrived by ``now``."""
+        # Age out arrivals beyond the admission queue.
+        horizon = now - self.queue_seconds
+        if self._next_arrival < horizon:
+            missed = int((horizon - self._next_arrival) * self.rate)
+            if missed > 0:
+                self.dropped += missed
+                self._next_arrival += missed / self.rate
+        txns: List[Transaction] = []
+        step = 1.0 / self.rate
+        while self._next_arrival <= now:
+            if max_n is not None and len(txns) >= max_n:
+                break
+            txns.append(self.workload.generate(self.rng, now=self._next_arrival))
+            self._next_arrival += step
+        return txns
+
+
+class LoadStage:
+    """Batching plus admission control for one group."""
+
+    def __init__(self, group, load: Optional[ClientLoad]) -> None:
+        self.group = group
+        self.deployment = group.deployment
+        self.load = load
+
+    # ------------------------------------------------------------------
+    # Timer entry point
+    # ------------------------------------------------------------------
+
+    def on_batch_timer(self) -> None:
+        if self.group.crashed or self.load is None:
+            return
+        self.try_propose()
+
+    # ------------------------------------------------------------------
+    # Backpressure gates
+    # ------------------------------------------------------------------
+
+    def senders_backlogged(self) -> bool:
+        """TCP-style backpressure: hold proposals while the sending NICs
+        are more than ``wan_backlog_cap`` seconds behind. Without this an
+        overloaded run accumulates unbounded egress queues and control
+        messages (accepts, commits, timestamps) drown behind bulk chunks.
+
+        Encoded bijective replication only *needs* enough senders for
+        ``n_data`` chunks per destination (the parity budget covers the
+        rest — Section VI-C's "log replication requires only 3 correct
+        nodes out of 7"), so the group paces itself on the k-th *fastest*
+        member, not the slowest: a minority of slow nodes does not gate
+        proposals (Fig 14's gradual-degradation regime).
+        """
+        group = self.group
+        deployment = self.deployment
+        cap = deployment.wan_backlog_cap
+        if group.spec.transport == "leader":
+            senders = [group.rep]
+        else:
+            senders = [n for n in group.members if not n.crashed]
+        if not senders:
+            return True
+        backlogs = sorted(
+            deployment.network.wan_backlog(node.addr) for node in senders
+        )
+        if group.spec.transport == "encoded":
+            needed = 1
+            for dst in deployment.other_groups(group.gid):
+                plan = deployment.transport.plan_for(group.gid, dst)
+                needed = max(needed, -(-plan.n_data // plan.nc1))
+            index = min(needed, len(backlogs)) - 1
+            return backlogs[index] > cap
+        return backlogs[-1] > cap
+
+    def cpu_backlogged(self) -> bool:
+        """Admission control on compute: hold proposals while the
+        representative's CPU queue (signature verification, coding,
+        execution) is more than ``cpu_backlog_cap`` seconds behind. This
+        is what turns CPU saturation into the Fig 13a *plateau* instead
+        of an unbounded processing backlog."""
+        group = self.group
+        now = group.sim.now
+        cap = self.deployment.cpu_backlog_cap
+        if group.rep.cpu.backlog(now) > cap:
+            return True
+        # The local PBFT leader broadcasts (n-1) entry copies over its
+        # LAN NIC; at large group sizes this is a real bottleneck and
+        # needs the same admission control as the WAN and CPU queues.
+        lan = self.deployment.network._lan_up[group.rep.addr]
+        return lan.backlog(now) > cap
+
+    # ------------------------------------------------------------------
+    # Proposal window
+    # ------------------------------------------------------------------
+
+    def window_allows(self) -> bool:
+        group = self.group
+        spec = group.spec
+        deployment = self.deployment
+        now = group.sim.now
+        deployment.bus.publish(
+            QueueDepthsSampled(
+                gid=group.gid,
+                at=now,
+                wan_backlog=deployment.network.wan_backlog(group.rep.addr),
+                cpu_backlog=group.rep.cpu.backlog(now),
+            )
+        )
+        if self.senders_backlogged():
+            deployment.bus.publish(ProposalGated(group.gid, now, "wan"))
+            return False
+        if self.cpu_backlogged():
+            deployment.bus.publish(ProposalGated(group.gid, now, "cpu"))
+            return False
+        if not group.global_phase.may_propose():
+            deployment.bus.publish(ProposalGated(group.gid, now, "phase"))
+            return False
+        if spec.global_consensus == "serial":
+            # The slot token is the only pacing serial protocols have.
+            return True
+        if spec.ordering == "async":
+            outstanding = group.next_seq - group.last_own_committed
+            if outstanding >= deployment.pipeline_window:
+                deployment.bus.publish(ProposalGated(group.gid, now, "window"))
+                return False
+            return True
+        # Round-based: don't run ahead of execution by more than the window.
+        if group.next_seq - group.last_executed_round >= deployment.round_window:
+            deployment.bus.publish(ProposalGated(group.gid, now, "window"))
+            return False
+        if spec.epoch_slots:
+            # ISS: the first entry of epoch e may only be proposed once
+            # every entry of epoch e-1 (all groups) has executed locally —
+            # the per-epoch synchronisation that disrupts the pipeline.
+            seq = group.next_seq + 1
+            epoch = (seq - 1) // spec.epoch_slots
+            if epoch > 0 and (seq - 1) % spec.epoch_slots == 0:
+                if group.last_executed_round < epoch * spec.epoch_slots:
+                    deployment.bus.publish(ProposalGated(group.gid, now, "window"))
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Proposal
+    # ------------------------------------------------------------------
+
+    def try_propose(self) -> Optional[LogEntry]:
+        if not self.window_allows():
+            return None
+        group = self.group
+        deployment = self.deployment
+        now = group.sim.now
+        txns = self.load.take(now, max_n=deployment.max_batch_txns)
+        if not txns:
+            return None
+        group.next_seq += 1
+        entry = self._make_entry(group.next_seq, txns, now)
+        deployment.entries[entry.entry_id] = entry
+        waits = [now - tx.created_at for tx in txns]
+        deployment.bus.publish(
+            EntryBatched(entry.entry_id, now, len(txns), sum(waits) / len(waits))
+        )
+        group.global_phase.on_entry_batched(entry)
+        group.local.propose(entry)
+        return entry
+
+    def _make_entry(self, seq: int, txns: List[Transaction], now: float) -> LogEntry:
+        wire_size = sum(tx.size_bytes for tx in txns) + 64
+        if self.deployment.materialize_payloads:
+            payload = serialize_batch(tuple(txns))
+        else:
+            payload = b""
+        return LogEntry(
+            gid=self.group.gid,
+            seq=seq,
+            payload=payload,
+            transactions=tuple(txns),
+            created_at=now,
+            declared_size=wire_size,
+        )

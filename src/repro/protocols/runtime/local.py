@@ -1,0 +1,77 @@
+"""Local consensus stage: per-group PBFT and commit dispatch.
+
+Wraps :class:`repro.consensus.pbft.ModeledPbftGroup` for one group and
+routes its commit callbacks: freshly certified :class:`LogEntry` values
+go to the dissemination stage and then the global phase; certified
+:class:`AcceptValue`/:class:`CommitValue` receipts (the accept- and
+commit-phase local rounds of Section II-A) go straight to the global
+phase.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.consensus.pbft import ModeledPbftGroup
+from repro.core.entry import LogEntry
+from repro.protocols.runtime.events import EntryLocallyCommitted
+from repro.protocols.runtime.values import AcceptValue, CommitValue
+
+
+class LocalConsensusStage:
+    """Local PBFT for one group plus the certified-value dispatcher."""
+
+    def __init__(self, group) -> None:
+        self.group = group
+        deployment = group.deployment
+        self.pbft = ModeledPbftGroup(
+            group.members,
+            deployment.keystore,
+            costs=deployment.costs,
+            instance=f"g{group.gid}",
+        )
+        for node in group.members:
+            self.pbft.subscribe(node.addr, self._make_callback(node))
+
+    @property
+    def leader(self):
+        return self.pbft.leader
+
+    # ------------------------------------------------------------------
+    # Proposals
+    # ------------------------------------------------------------------
+
+    def propose(self, entry: LogEntry) -> None:
+        """Run a fresh entry through the full local PBFT round."""
+        self.pbft.propose(entry)
+
+    def certify(self, value: Any) -> None:
+        """Certify an accept/commit receipt (prepare skipped: the value
+        is already certified by the sender group)."""
+        self.pbft.propose(value, skip_prepare=True)
+
+    # ------------------------------------------------------------------
+    # Commit dispatch
+    # ------------------------------------------------------------------
+
+    def _make_callback(self, node):
+        def on_committed(seq: int, value: Any, cert: Any) -> None:
+            if isinstance(value, LogEntry):
+                self._on_entry_locally_committed(node, value)
+            elif isinstance(value, AcceptValue):
+                self.group.global_phase.on_accept_certified(node, value)
+            elif isinstance(value, CommitValue):
+                self.group.global_phase.on_commit_certified(node, value)
+
+        return on_committed
+
+    def _on_entry_locally_committed(self, node, entry: LogEntry) -> None:
+        group = self.group
+        if not group.is_rep(node):
+            return
+        deployment = group.deployment
+        deployment.bus.publish(
+            EntryLocallyCommitted(entry.entry_id, group.sim.now)
+        )
+        deployment.dissemination.replicate(entry, group, node)
+        group.global_phase.on_local_entry_committed(node, entry)

@@ -1,0 +1,119 @@
+"""Ordering + execution stage: observers, orderers, Aria execution.
+
+Builds the per-observer ordering engine a spec calls for (Algorithm 2
+asynchronous VTS, round-based, or Steward's slot sequence), attaches the
+ledger and execution pipeline, and publishes
+:class:`~repro.protocols.runtime.events.EntryExecuted` at each entry's
+origin-group measurement observer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.entry import EntryId
+from repro.core.ordering import DeterministicOrderer, RoundBasedOrderer
+from repro.ledger.execution import AriaExecutor, ExecutionPipeline
+from repro.protocols.runtime.events import EntryExecuted
+
+
+def _noop() -> None:
+    return None
+
+
+class SequenceOrderer:
+    """Steward's ordering: execute entries in global slot order."""
+
+    def __init__(self, on_execute: Callable[[EntryId], None]) -> None:
+        self.on_execute = on_execute
+        self.next_slot = 0
+        self.pending: Dict[int, EntryId] = {}
+        self.executed_count = 0
+
+    def deliver(self, slot: int, entry_id: EntryId) -> None:
+        self.pending[slot] = entry_id
+        while self.next_slot in self.pending:
+            self.executed_count += 1
+            self.on_execute(self.pending.pop(self.next_slot))
+            self.next_slot += 1
+
+
+#: Backwards-compatible alias (the orderer was module-private in the
+#: pre-runtime ``repro.protocols.base``).
+_SequenceOrderer = SequenceOrderer
+
+
+class OrderingExecStage:
+    """Deployment-wide observer setup and execution measurement."""
+
+    def __init__(self, deployment) -> None:
+        self.deployment = deployment
+
+    def setup_observers(self, observers: str) -> None:
+        deployment = self.deployment
+        override = (
+            deployment.spec.stages.orderer
+            if deployment.spec.stages is not None
+            else None
+        )
+        for group in deployment.groups.values():
+            watchers = (
+                list(group.members) if observers == "all" else [group.members[0]]
+            )
+            for node in watchers:
+                node.is_observer = True
+                from repro.ledger.ledger import GlobalLedger
+
+                node.ledger = GlobalLedger(deployment.n_groups)
+                executor = AriaExecutor()
+                if deployment.execution == "full":
+                    deployment.workload.populate(executor.store)
+                    deployment.workload.register(executor)
+                node.pipeline = ExecutionPipeline(executor)
+                on_execute = self.make_execute_callback(node)
+                if override is not None:
+                    node.orderer = override(node, deployment, on_execute)
+                elif deployment.spec.ordering == "async":
+                    node.orderer = DeterministicOrderer(
+                        deployment.n_groups, on_execute, strict=False
+                    )
+                elif deployment.spec.ordering == "round":
+                    node.orderer = RoundBasedOrderer(
+                        deployment.n_groups, on_execute
+                    )
+                else:
+                    node.orderer = SequenceOrderer(on_execute)
+
+    def make_execute_callback(self, node):
+        deployment = self.deployment
+
+        def on_execute(entry_id: EntryId) -> None:
+            entry = deployment.entries.get(entry_id)
+            if entry is None:
+                return
+            if node.ledger is not None:
+                node.ledger.append(entry)
+            result = node.pipeline.execute_entry(entry.transactions)
+            cost = deployment.costs.execute_seconds(entry.tx_count)
+            node.consume_cpu(cost, _noop)
+            deployment.groups[node.gid].note_executed_round(entry_id)
+            # Measure once, at the origin group's first observer.
+            if node.gid == entry_id.gid and node.index == self.observer_index(
+                entry_id.gid
+            ):
+                deployment.bus.publish(
+                    EntryExecuted(
+                        entry_id,
+                        deployment.sim.now,
+                        entry_id.gid,
+                        tuple(tx.created_at for tx in result.committed),
+                        len(result.aborted),
+                    )
+                )
+            # Entries fully executed everywhere could be pruned; keeping
+            # them allows post-run ledger audits in tests.
+
+        return on_execute
+
+    def observer_index(self, gid: int) -> int:
+        return self.deployment.groups[gid].members[0].index

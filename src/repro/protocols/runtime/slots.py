@@ -1,0 +1,46 @@
+"""Steward's deployment-wide global-slot serialisation token.
+
+One :class:`SlotToken` is shared by every group's
+:class:`~repro.protocols.runtime.global_phase.SerialSlotPhase`: the
+lowest live group owns every slot, only one slot may be in flight at a
+time, and entries execute in slot order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.entry import EntryId
+
+
+class SlotToken:
+    """The single-master slot ledger serialising Steward's proposals."""
+
+    def __init__(self, deployment) -> None:
+        self.deployment = deployment
+        self.next_slot = 0
+        self.committed_through = -1
+        self.in_flight = False
+        self._slots: Dict[EntryId, int] = {}
+
+    def owner(self) -> int:
+        """Steward is single-master: the lowest live group leads every slot."""
+        for gid in range(self.deployment.n_groups):
+            if not self.deployment.groups[gid].crashed:
+                return gid
+        return 0
+
+    def take(self, entry_id: EntryId) -> int:
+        slot = self.next_slot
+        self.next_slot += 1
+        self.in_flight = True
+        self._slots[entry_id] = slot
+        return slot
+
+    def commit(self, slot: int) -> None:
+        if slot >= 0:
+            self.committed_through = max(self.committed_through, slot)
+            self.in_flight = False
+
+    def slot_of(self, entry_id: EntryId) -> int:
+        return self._slots.get(entry_id, -1)

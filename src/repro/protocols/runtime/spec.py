@@ -1,0 +1,66 @@
+"""Protocol specification: what distinguishes one geo-protocol from another.
+
+A :class:`ProtocolSpec` is pure configuration — transport choice, global
+consensus style, ordering discipline — interpreted by the stage modules
+in this package. :class:`StageOverrides` lets a spec swap whole stage
+implementations (a custom :class:`~repro.protocols.runtime.global_phase.
+GlobalPhase`, transport, or orderer factory) without touching the
+composition root, which is how new protocols are added by composing
+stages rather than editing the runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(frozen=True)
+class StageOverrides:
+    """Factory hooks replacing a stage wholesale for one spec.
+
+    ``global_phase(group) -> GlobalPhase``
+        Called once per :class:`GroupRuntime`; returns the group's global
+        consensus phase.
+    ``transport(deployment, members_by_gid, deliver, get_entry) -> transport``
+        Returns an object with the replication-transport interface of
+        :mod:`repro.core.replication` (``replicate`` + ``plan_for``).
+    ``orderer(node, deployment, on_execute) -> orderer``
+        Returns the per-observer ordering engine.
+    """
+
+    global_phase: Optional[Callable[..., Any]] = None
+    transport: Optional[Callable[..., Any]] = None
+    orderer: Optional[Callable[..., Any]] = None
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """What distinguishes one geo-consensus protocol from another here.
+
+    ``transport``: "leader" | "bijective" | "encoded".
+    ``global_consensus``: "raft" (propose/accept/commit), "none" (direct
+    broadcast, GeoBFT), "serial" (one global slot at a time, Steward).
+    ``ordering``: "round" | "async" | "sequence".
+    ``epoch_slots``: ISS-style epoch gating (entries per epoch), or None.
+    ``stages``: optional :class:`StageOverrides` swapping stage factories.
+    """
+
+    name: str
+    transport: str
+    global_consensus: str
+    ordering: str
+    overlap_vts: bool = True
+    epoch_slots: Optional[int] = None
+    multi_master: bool = True
+    stages: Optional[StageOverrides] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.transport not in ("leader", "bijective", "encoded"):
+            raise ValueError(f"unknown transport {self.transport!r}")
+        if self.global_consensus not in ("raft", "none", "serial"):
+            raise ValueError(f"unknown global consensus {self.global_consensus!r}")
+        if self.ordering not in ("round", "async", "sequence"):
+            raise ValueError(f"unknown ordering {self.ordering!r}")
+        if self.ordering == "async" and self.global_consensus != "raft":
+            raise ValueError("asynchronous VTS ordering requires global Raft")

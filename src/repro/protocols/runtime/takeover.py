@@ -1,0 +1,141 @@
+"""Crashed-group takeover (Section V-C, Fig 15).
+
+Mixed into :class:`~repro.protocols.runtime.global_phase.RaftGlobalPhase`:
+when a Raft instance falls silent, the lowest-gid live group campaigns to
+lead it, and — once elected — assigns the crashed group's frozen clock
+to every entry still missing that VTS element, unblocking Algorithm 2
+ordering at all observers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.core.global_raft import (
+    GRTakeoverRequest,
+    GRTakeoverVote,
+    GRTsReplicate,
+)
+from repro.core.ordering import DeterministicOrderer
+
+
+class TakeoverMixin:
+    """Takeover election + frozen-clock assignment for a Raft phase."""
+
+    def check_instance_liveness(self) -> None:
+        """Periodic: start a takeover for silent instances we don't lead."""
+        if self.group.crashed or self.spec.ordering != "async":
+            return
+        now = self.sim.now
+        deployment = self.deployment
+        timeout = deployment.takeover_timeout
+        for instance, state in self.instances.items():
+            if instance == self.gid or state.takeover_leader is not None:
+                continue
+            if state.last_heard == 0.0 or now - state.last_heard < timeout:
+                continue
+            # Candidate rule: the lowest-gid live group runs for takeover.
+            live = [
+                g
+                for g in range(deployment.n_groups)
+                if g != instance and not deployment.groups[g].crashed
+            ]
+            if not live or live[0] != self.gid:
+                continue
+            state.takeover_term += 1
+            state.takeover_votes = {self.gid}
+            request = GRTakeoverRequest(
+                instance=instance, candidate=self.gid, term=state.takeover_term
+            )
+            for gid in deployment.other_groups(self.gid):
+                rep = deployment.groups[gid].rep
+                self.group.rep.send(
+                    rep.addr, request, request.size_bytes, priority=True
+                )
+
+    def on_takeover_request(self, node, msg) -> None:
+        request: GRTakeoverRequest = msg.payload
+        if not self.group.is_rep(node) or node.crashed:
+            return
+        state = self.instances[request.instance]
+        silent = (
+            self.sim.now - state.last_heard
+            >= self.deployment.takeover_timeout / 2
+        )
+        granted = silent and request.term > state.takeover_term
+        if granted:
+            state.takeover_term = request.term
+        vote = GRTakeoverVote(
+            instance=request.instance,
+            candidate=request.candidate,
+            term=request.term,
+            voter=self.gid,
+            granted=granted,
+        )
+        rep = self.deployment.groups[request.candidate].rep
+        node.send(rep.addr, vote, vote.size_bytes, priority=True)
+
+    def on_takeover_vote(self, node, msg) -> None:
+        vote: GRTakeoverVote = msg.payload
+        if not self.group.is_rep(node) or node.crashed or not vote.granted:
+            return
+        state = self.instances[vote.instance]
+        if vote.term != state.takeover_term or state.takeover_leader is not None:
+            return
+        state.takeover_votes.add(vote.voter)
+        if len(state.takeover_votes) >= self.deployment.f_g + 1:
+            state.takeover_leader = self.gid
+            self._start_takeover_assignments(node, vote.instance)
+
+    def _start_takeover_assignments(self, node, instance: int) -> None:
+        """Assign the crashed group's frozen clock to everything pending.
+
+        The representative's orderer knows exactly which entries still
+        lack element ``instance`` (including committed-but-unexecuted
+        ones whose engine slots were already pruned), so it is the sweep
+        source; the follower-slot sweep alone would miss entries that
+        committed without the crashed group's accept.
+        """
+        state = self.instances[instance]
+        frozen = state.frozen_clock
+        assignments: List[Tuple[int, int, int]] = []
+        seen: Set[Tuple[int, int]] = set()
+
+        def need(gid: int, seq: int) -> None:
+            if gid != instance and (gid, seq) not in seen:
+                seen.add((gid, seq))
+                assignments.append((gid, seq, frozen))
+
+        orderer = node.orderer
+        if isinstance(orderer, DeterministicOrderer):
+            for entry_state in list(orderer.states.values()) + orderer.heads:
+                if not entry_state.vts.is_set[instance]:
+                    need(entry_state.gid, entry_state.seq)
+        for other_instance, other_state in self.instances.items():
+            if other_instance == instance:
+                continue
+            for seq in other_state.slots:
+                need(other_instance, seq)
+        for seq in self.instances[self.gid].outstanding:
+            need(self.gid, seq)
+        if assignments:
+            self._broadcast_takeover_ts(node, instance, assignments)
+
+    def _takeover_assign(self, node, gid: int, seq: int) -> None:
+        """While leading a takeover, stamp new entries with the frozen clock."""
+        for instance, state in self.instances.items():
+            if state.takeover_leader == self.gid and instance != gid:
+                self._broadcast_takeover_ts(
+                    node, instance, [(gid, seq, state.frozen_clock)]
+                )
+
+    def _broadcast_takeover_ts(
+        self, node, instance: int, assignments: List[Tuple[int, int, int]]
+    ) -> None:
+        flush = GRTsReplicate(assigner=instance, assignments=tuple(assignments))
+        for gid in self.deployment.other_groups(self.gid):
+            rep = self.deployment.groups[gid].rep
+            node.send(rep.addr, flush, flush.size_bytes, priority=True)
+        self._notify_ts(
+            node, [(instance, g, s, t) for (g, s, t) in assignments]
+        )

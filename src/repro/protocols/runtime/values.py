@@ -1,0 +1,44 @@
+"""Small values the group's local PBFT certifies during global phases.
+
+During the global accept and commit phases each receipt/decision itself
+runs through a local PBFT round (Section II-A); these are the values
+those rounds certify. Digests are computed with the module-level
+:func:`repro.crypto.hashing.digest` import — hot path, no per-call
+import machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import digest
+
+
+@dataclass
+class AcceptValue:
+    """The accept receipt a follower group certifies locally."""
+
+    instance: int
+    seq: int
+    ts: int
+    size_bytes: int = 128
+    tx_count: int = 0
+
+    @property
+    def digest(self) -> bytes:
+        return digest(f"accept:{self.instance}:{self.seq}:{self.ts}")
+
+
+@dataclass
+class CommitValue:
+    """The commit decision the proposer group certifies locally."""
+
+    instance: int
+    seq: int
+    slot: int = -1
+    size_bytes: int = 128
+    tx_count: int = 0
+
+    @property
+    def digest(self) -> bytes:
+        return digest(f"commit:{self.instance}:{self.seq}")

@@ -23,7 +23,7 @@ partitions, and per-node crash/bandwidth overrides (Fig 14, Fig 15).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.sim.core import Simulator

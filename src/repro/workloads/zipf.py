@@ -10,7 +10,6 @@ Hormann & Derflinger).
 
 from __future__ import annotations
 
-import math
 import random
 from typing import Optional
 

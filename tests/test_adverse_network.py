@@ -7,7 +7,6 @@ absorbing chunk loss, jitter not breaking agreement, and group-leader
 replacement keeping the system live.
 """
 
-import pytest
 
 from repro.protocols import GeoDeployment, massbft
 from repro.sim.network import LinkQuality

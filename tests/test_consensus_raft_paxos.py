@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.consensus.paxos import MultiPaxos, PaxosAcceptor, PaxosProposer
-from repro.consensus.raft import RaftConfig, RaftNode, Role
+from repro.consensus.paxos import MultiPaxos
+from repro.consensus.raft import RaftConfig, RaftNode
 from repro.sim.core import Simulator
 from repro.sim.network import Network, NodeAddress
 from repro.sim.node import SimNode

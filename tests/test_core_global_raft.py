@@ -1,6 +1,5 @@
 """Unit tests for the global Raft message types and instance bookkeeping."""
 
-import pytest
 
 from repro.core.global_raft import (
     FollowerSlot,

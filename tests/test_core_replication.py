@@ -4,7 +4,7 @@ import os
 
 import pytest
 
-from repro.core.entry import EntryId, LogEntry
+from repro.core.entry import LogEntry
 from repro.core.replication import (
     BijectiveTransport,
     EncodedBijectiveTransport,

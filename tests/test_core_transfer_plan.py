@@ -6,11 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.transfer_plan import (
-    TransferPlan,
-    faulty_bound,
-    generate_transfer_plan,
-)
+from repro.core.transfer_plan import faulty_bound, generate_transfer_plan
 
 group_size = st.integers(min_value=1, max_value=40)
 

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from repro.crypto.certificates import QuorumCertificate
 from repro.crypto.hashing import combine_digests, digest, digest_hex
 from repro.crypto.keystore import KeyStore
-from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.crypto.merkle import MerkleTree
 from repro.crypto.signatures import KeyPair, sign, verify
 
 

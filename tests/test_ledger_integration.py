@@ -67,6 +67,6 @@ class TestObserverLedgers:
             if node.ledger is not None
         ]
         assert len(ledgers) == 12
-        reference = max(ledgers, key=lambda l: l.height)
+        reference = max(ledgers, key=lambda led: led.height)
         for ledger in ledgers:
             assert ledger.matches(reference)

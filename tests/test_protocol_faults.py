@@ -1,8 +1,7 @@
 """Fault-tolerance integration tests (the Fig 15 scenarios)."""
 
-import pytest
 
-from repro.protocols import GeoDeployment, baseline, geobft, massbft
+from repro.protocols import GeoDeployment, baseline, massbft
 from repro.workloads import make_workload
 from tests.conftest import tiny_cluster
 

@@ -7,7 +7,6 @@ and each protocol's distinguishing feature is visible.
 
 import pytest
 
-from repro.core.entry import EntryId
 from repro.protocols import (
     GeoDeployment,
     baseline,
@@ -60,7 +59,8 @@ class TestProtocolSpec:
         assert table["MassBFT"]["coding"] == "Erasure-coded"
         assert table["Steward"]["multi_master"] == "N"
         assert table["GeoBFT"]["consensus"] == "Broadcast"
-        assert len(table) == 5
+        # Table II's five systems plus the Fig 12 ablations (BR, EBR).
+        assert len(table) == 7
 
 
 class TestCommitsFlow:

@@ -162,6 +162,9 @@ class TestProposalWindows:
         assert runtime._senders_backlogged()
 
     def test_steward_token_serializes_slots(self):
+        from repro.core.entry import EntryId
+        from repro.protocols.runtime import SerialSlotPhase
+
         deployment = GeoDeployment(
             tiny_cluster((4, 4, 4)),
             steward(),
@@ -169,13 +172,20 @@ class TestProposalWindows:
             offered_load=2000,
             seed=44,
         )
-        assert deployment.steward_owner() == 0
-        slot = deployment.steward_take_slot()
-        assert deployment.steward_in_flight
+        phase = deployment.groups[0].global_phase
+        assert isinstance(phase, SerialSlotPhase)
+        token = phase.token
+        # The token is deployment-wide: every group shares it.
+        assert all(
+            g.global_phase.token is token for g in deployment.groups.values()
+        )
+        assert token.owner() == 0
+        slot = token.take(EntryId(0, 1))
+        assert token.in_flight
         # Group 0's runtime may not start another slot while in flight.
         assert not deployment.groups[0]._window_allows()
-        deployment.steward_commit_slot(slot)
-        assert not deployment.steward_in_flight
+        token.commit(slot)
+        assert not token.in_flight
 
     def test_async_pipeline_window(self):
         deployment = GeoDeployment(

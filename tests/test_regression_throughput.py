@@ -1,0 +1,41 @@
+"""Throughput regression guard for the runtime refactor.
+
+Re-runs the Fig 8 nationwide YCSB-A saturated throughput probe for
+MassBFT and the Baseline with the exact benchmark configuration
+(``benchmarks/_helpers``: load 30k/group, 1.6 s runs, seed 1) and checks
+the result against the recorded rows in ``benchmarks/results.json``.
+The recorded throughput comes from ``run_calibrated``'s saturation
+probe, which is this same ``ExperimentRunner.run`` call, so the numbers
+must agree to the rounding in the file — the test allows 1%.
+
+If this fails after an intentional behaviour change, regenerate the
+results file with ``pytest benchmarks/bench_fig08_nationwide.py``.
+"""
+
+import json
+
+import pytest
+
+from benchmarks._helpers import RESULTS_PATH, saturated_config
+from repro.bench.harness import ExperimentRunner
+from repro.topology import nationwide_cluster
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    with open(RESULTS_PATH) as fh:
+        rows = json.load(fh)["fig08_ycsb-a"]
+    return {row[0]: row[1] for row in rows}  # protocol -> ktps
+
+
+@pytest.mark.parametrize("protocol", ["massbft", "baseline"])
+def test_nationwide_throughput_matches_recorded(protocol, recorded):
+    runner = ExperimentRunner()
+    result = runner.run(
+        saturated_config(protocol, nationwide_cluster(nodes_per_group=7))
+    )
+    expected = recorded[protocol]
+    assert result.throughput_ktps == pytest.approx(expected, rel=0.01), (
+        f"{protocol}: measured {result.throughput_ktps:.4f} ktps, "
+        f"recorded {expected} ktps (benchmarks/results.json fig08_ycsb-a)"
+    )

@@ -1,0 +1,111 @@
+"""Tests for the runtime stage seams: event bus, tracing, stage overrides."""
+
+from repro.protocols import GeoDeployment, massbft, protocol_by_name
+from repro.protocols.runtime import (
+    DirectBroadcastPhase,
+    EntryBatched,
+    EntryExecuted,
+    EventBus,
+    RaftGlobalPhase,
+)
+from repro.workloads import make_workload
+from tests.conftest import tiny_cluster
+
+
+def deploy(spec, load=2000, **kwargs):
+    return GeoDeployment(
+        tiny_cluster((4, 4, 4)),
+        spec,
+        make_workload("ycsb-a"),
+        offered_load=load,
+        seed=21,
+        **kwargs,
+    )
+
+
+class TestEventBus:
+    def test_dispatch_is_typed_and_ordered(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(EntryBatched, lambda e: seen.append(("first", e)))
+        bus.subscribe(EntryBatched, lambda e: seen.append(("second", e)))
+        bus.subscribe(EntryExecuted, lambda e: seen.append(("exec", e)))
+        event = EntryBatched(entry_id=None, at=0.0, tx_count=3, mean_wait=0.0)
+        bus.publish(event)
+        assert seen == [("first", event), ("second", event)]
+
+    def test_unsubscribed_event_is_dropped(self):
+        EventBus().publish(EntryBatched(None, 0.0, 1, 0.0))  # no handlers: no-op
+
+
+class TestStageTrace:
+    def test_stage_timeline_is_monotone(self):
+        deployment = deploy(massbft())
+        trace = deployment.attach_trace()
+        deployment.run(duration=1.0, warmup=0.0)
+        complete = [
+            s
+            for s in trace.stamps.values()
+            if {"batched", "local_committed", "global_committed", "executed"}
+            <= s.keys()
+        ]
+        assert len(complete) > 10
+        for stamps in complete:
+            assert (
+                stamps["batched"]
+                <= stamps["local_committed"]
+                <= stamps["global_committed"]
+                <= stamps["executed"]
+            )
+
+    def test_trace_agrees_with_metrics(self):
+        deployment = deploy(massbft())
+        trace = deployment.attach_trace()
+        metrics = deployment.run(duration=1.0, warmup=0.0)
+        executed = sum(1 for s in trace.stamps.values() if "executed" in s)
+        assert executed == len(
+            [e for e in metrics.entry_stamps.values() if "executed" in e]
+        )
+
+    def test_queue_depths_sampled_at_admission(self):
+        deployment = deploy(massbft())
+        trace = deployment.attach_trace()
+        deployment.run(duration=0.5, warmup=0.0)
+        assert trace.queue_samples
+        sample = trace.queue_samples[0]
+        assert sample.wan_backlog >= 0.0 and sample.cpu_backlog >= 0.0
+
+    def test_gating_reported_under_pressure(self):
+        deployment = deploy(massbft(), load=2000, pipeline_window=1)
+        trace = deployment.attach_trace()
+        deployment.run(duration=1.0, warmup=0.0)
+        assert any(g.reason == "window" for g in trace.gated)
+
+
+class TestStageOverrides:
+    def test_custom_global_phase_is_installed_and_runs(self):
+        proposals = []
+
+        class CountingPhase(RaftGlobalPhase):
+            def on_entry_batched(self, entry):
+                proposals.append(entry.entry_id)
+                super().on_entry_batched(entry)
+
+        spec = protocol_by_name("massbft", global_phase=CountingPhase)
+        deployment = deploy(spec)
+        assert all(
+            isinstance(g.global_phase, CountingPhase)
+            for g in deployment.groups.values()
+        )
+        metrics = deployment.run(duration=1.0, warmup=0.0)
+        assert metrics.committed > 100
+        assert len(proposals) > 0
+
+    def test_broadcast_phase_override_turns_raft_spec_into_geobft(self):
+        spec = protocol_by_name("baseline", global_phase=DirectBroadcastPhase)
+        deployment = deploy(spec)
+        metrics = deployment.run(duration=1.0, warmup=0.0)
+        assert metrics.committed > 100
+        # No global Raft instances ever started.
+        for group in deployment.groups.values():
+            assert group.instances == {}

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sim.core import Simulator
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import EventQueue
 
 
 class TestEventQueue:

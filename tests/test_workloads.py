@@ -8,13 +8,7 @@ import pytest
 from repro.ledger.execution import AriaExecutor, ExecutionPipeline
 from repro.ledger.state import KVStore
 from repro.workloads import make_workload
-from repro.workloads.smallbank import (
-    CHECKING,
-    INITIAL_CHECKING,
-    INITIAL_SAVINGS,
-    SAVINGS,
-    SmallBankWorkload,
-)
+from repro.workloads.smallbank import CHECKING, SAVINGS, SmallBankWorkload
 from repro.workloads.tpcc import TpccWorkload, district_key
 from repro.workloads.ycsb import YcsbWorkload
 from repro.workloads.zipf import ZipfGenerator
