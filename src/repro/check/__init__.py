@@ -1,0 +1,44 @@
+"""``repro.check``: deterministic simulation checker for the protocols.
+
+A VOPR/Jepsen-style model checker layered on the deterministic ``repro.sim``
+stack: seeded episodes of any registered protocol run under randomly
+generated fault schedules while safety invariants watch the event bus and
+audit the ledgers at the end of the run. Violating runs are recorded to
+JSONL traces that replay bit-identically from their (seed, schedule) pair,
+and violating schedules are shrunk to a minimal reproducer.
+
+Four pieces:
+
+* :mod:`repro.check.invariants` — the safety properties;
+* :mod:`repro.check.scenarios`  — the seeded fault-schedule grammar;
+* :mod:`repro.check.trace`      — JSONL recording of violating runs;
+* :mod:`repro.check.explorer`   — episode runner, sweep, replay, shrinking.
+
+Driven by ``python -m repro check`` (see :mod:`repro.cli`).
+"""
+
+from repro.check.explorer import (
+    CheckConfig,
+    EpisodeResult,
+    explore,
+    replay_trace,
+    run_episode,
+    shrink_schedule,
+)
+from repro.check.invariants import InvariantSuite, Violation
+from repro.check.scenarios import FaultOp, FaultSchedule, ScenarioConfig, generate_schedule
+
+__all__ = [
+    "CheckConfig",
+    "EpisodeResult",
+    "FaultOp",
+    "FaultSchedule",
+    "InvariantSuite",
+    "ScenarioConfig",
+    "Violation",
+    "explore",
+    "generate_schedule",
+    "replay_trace",
+    "run_episode",
+    "shrink_schedule",
+]

@@ -1,0 +1,304 @@
+"""Episode runner, seed sweep, trace replay, and schedule shrinking.
+
+One *episode* is a fully deterministic simulation: build a deployment
+from (protocol, seed, config), lower a fault schedule onto it, run with
+the invariant suite attached, audit. Because every random draw flows
+through :class:`~repro.sim.rng.RngRegistry` streams keyed by seed, the
+same (protocol, seed, config, schedule) quadruple produces the same
+event sequence — and the same violations — in any process, which is what
+makes recorded traces replayable and shrinking meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.check.invariants import InvariantSuite, Violation
+from repro.check.scenarios import FaultSchedule, ScenarioConfig, generate_schedule
+from repro.check.trace import EventRecorder, read_trace, write_trace
+from repro.protocols import GeoDeployment, protocol_by_name
+from repro.sim.rng import RngRegistry
+from repro.topology import scaled_cluster
+from repro.workloads import make_workload
+
+#: RngRegistry stream for schedule generation. A dedicated name keeps the
+#: deployment's own streams untouched whether a schedule is generated or
+#: supplied explicitly (registry streams are independent by name).
+SCENARIO_STREAM = "check.scenario"
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Everything an episode needs besides (protocol, seed, schedule).
+
+    ``commit_slack`` must exceed the scenario window's end by enough for
+    takeover to finish (> takeover_timeout plus a WAN round trip);
+    otherwise the committed-entry-lost audit would flag entries whose
+    recovery was legitimately still in flight at the end of the run.
+    """
+
+    duration: float = 4.5
+    offered_load: float = 1200.0
+    n_groups: int = 3
+    nodes_per_group: int = 4
+    workload: str = "ycsb-a"
+    takeover_timeout: float = 1.0
+    commit_slack: float = 2.0
+    scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
+
+    def to_jsonable(self) -> dict:
+        data = asdict(self)
+        data["scenario"] = self.scenario.to_jsonable()
+        return data
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "CheckConfig":
+        data = dict(data)
+        if "scenario" in data:
+            data["scenario"] = ScenarioConfig.from_jsonable(data["scenario"])
+        return cls(**data)
+
+
+@dataclass
+class EpisodeResult:
+    """Outcome of one checked episode."""
+
+    protocol: str
+    seed: int
+    schedule: FaultSchedule
+    violations: List[Violation]
+    committed: int
+    executed: int
+    trace_path: Optional[Path] = None
+    shrunk: Optional[FaultSchedule] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def violation_keys(self) -> List[Tuple]:
+        return sorted(v.key() for v in self.violations)
+
+
+def run_episode(
+    protocol: str,
+    seed: int,
+    config: Optional[CheckConfig] = None,
+    schedule: Optional[FaultSchedule] = None,
+    recorder_sink: Optional[Callable[[GeoDeployment], object]] = None,
+) -> EpisodeResult:
+    """Run one deterministic checked episode.
+
+    When ``schedule`` is None, one is generated from the seed's
+    ``check.scenario`` stream — so (protocol, seed, config) alone pins
+    the whole run. ``recorder_sink`` may attach extra bus subscribers
+    (e.g. an :class:`~repro.check.trace.EventRecorder`) before the run.
+    """
+    config = config or CheckConfig()
+    cluster = scaled_cluster(
+        n_groups=config.n_groups, nodes_per_group=config.nodes_per_group
+    )
+    if schedule is None:
+        rng = RngRegistry(seed).stream(SCENARIO_STREAM)
+        schedule = generate_schedule(rng, cluster, config.scenario)
+    deployment = GeoDeployment(
+        cluster,
+        protocol_by_name(protocol),
+        make_workload(config.workload),
+        offered_load=config.offered_load,
+        seed=seed,
+        observers="all",
+        takeover_timeout=config.takeover_timeout,
+    )
+    suite = InvariantSuite.attach(deployment, commit_slack=config.commit_slack)
+    if recorder_sink is not None:
+        recorder_sink(deployment)
+    schedule.apply(deployment)
+    deployment.run(duration=config.duration)
+    violations = suite.audit(end_time=config.duration)
+    executed = max((len(v) for v in suite.executed.values()), default=0)
+    return EpisodeResult(
+        protocol=protocol,
+        seed=seed,
+        schedule=schedule,
+        violations=list(violations),
+        committed=len(suite.committed),
+        executed=executed,
+    )
+
+
+def shrink_schedule(
+    protocol: str,
+    seed: int,
+    schedule: FaultSchedule,
+    config: Optional[CheckConfig] = None,
+    target_invariants: Optional[Sequence[str]] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> FaultSchedule:
+    """Greedily minimise a violating schedule.
+
+    Repeatedly re-runs the episode with one op dropped; keeps any drop
+    that still violates one of ``target_invariants`` (default: any
+    invariant), until no single drop preserves the violation. The result
+    reproduces the failure with every remaining op necessary — the
+    starting point for a human diagnosis.
+    """
+    wanted = set(target_invariants) if target_invariants else None
+
+    def still_fails(candidate: FaultSchedule) -> bool:
+        result = run_episode(protocol, seed, config, schedule=candidate)
+        if wanted is None:
+            return bool(result.violations)
+        return any(v.invariant in wanted for v in result.violations)
+
+    current = schedule
+    progress = True
+    while progress and len(current) > 0:
+        progress = False
+        for i in range(len(current)):
+            candidate = current.without(i)
+            if still_fails(candidate):
+                if log:
+                    log(
+                        f"shrink: dropped op {i} "
+                        f"({current.ops[i].describe()}), "
+                        f"{len(candidate)} ops remain"
+                    )
+                current = candidate
+                progress = True
+                break
+    return current
+
+
+def explore(
+    protocols: Sequence[str],
+    episodes: int,
+    base_seed: int = 0,
+    config: Optional[CheckConfig] = None,
+    trace_dir: Optional[Path] = None,
+    shrink: bool = True,
+    log: Optional[Callable[[str], None]] = None,
+) -> List[EpisodeResult]:
+    """Sweep ``episodes`` seeds across ``protocols``.
+
+    Every violating episode is re-run with an event recorder attached and
+    written to ``trace_dir`` as a replayable JSONL trace; with ``shrink``
+    its schedule is also minimised and stored in the trace header.
+    """
+    config = config or CheckConfig()
+    results: List[EpisodeResult] = []
+    for protocol in protocols:
+        for i in range(episodes):
+            seed = base_seed + i
+            result = run_episode(protocol, seed, config)
+            if log:
+                status = (
+                    "ok"
+                    if result.ok
+                    else "VIOLATION " + ", ".join(
+                        sorted({v.invariant for v in result.violations})
+                    )
+                )
+                log(
+                    f"{protocol} seed={seed}: {status} "
+                    f"({result.committed} committed, "
+                    f"{result.executed} executed, "
+                    f"faults: {result.schedule.describe()})"
+                )
+            if not result.ok:
+                if shrink:
+                    result.shrunk = shrink_schedule(
+                        protocol,
+                        seed,
+                        result.schedule,
+                        config,
+                        target_invariants={
+                            v.invariant for v in result.violations
+                        },
+                        log=log,
+                    )
+                if trace_dir is not None:
+                    result.trace_path = _record_trace(
+                        result, config, Path(trace_dir)
+                    )
+                    if log:
+                        log(f"trace written: {result.trace_path}")
+            results.append(result)
+    return results
+
+
+def _record_trace(
+    result: EpisodeResult, config: CheckConfig, trace_dir: Path
+) -> Path:
+    """Re-run the violating episode with a recorder and write the trace."""
+    holder: Dict[str, EventRecorder] = {}
+
+    def sink(deployment: GeoDeployment) -> EventRecorder:
+        holder["recorder"] = EventRecorder.attach(deployment.bus)
+        return holder["recorder"]
+
+    rerun = run_episode(
+        result.protocol,
+        result.seed,
+        config,
+        schedule=result.schedule,
+        recorder_sink=sink,
+    )
+    header = {
+        "protocol": result.protocol,
+        "seed": result.seed,
+        "config": config.to_jsonable(),
+        "schedule": result.schedule.to_jsonable(),
+        "violations": [v.to_jsonable() for v in rerun.violations],
+    }
+    if result.shrunk is not None:
+        header["shrunk_schedule"] = result.shrunk.to_jsonable()
+    path = trace_dir / f"{result.protocol.lower()}-seed{result.seed}.jsonl"
+    write_trace(path, header, holder["recorder"].records)
+    return path
+
+
+def replay_trace(
+    path: Path, log: Optional[Callable[[str], None]] = None
+) -> Tuple[bool, EpisodeResult]:
+    """Re-run a recorded trace and check it reproduces identically.
+
+    Returns ``(reproduced, result)`` where ``reproduced`` is True iff the
+    fresh run raises exactly the violations the trace recorded (matched
+    by :meth:`~repro.check.invariants.Violation.key`).
+    """
+    header, _records = read_trace(Path(path))
+    config = CheckConfig.from_jsonable(header["config"])
+    schedule = FaultSchedule.from_jsonable(header["schedule"])
+    result = run_episode(
+        header["protocol"], header["seed"], config, schedule=schedule
+    )
+    recorded = sorted(
+        Violation.from_jsonable(v).key() for v in header["violations"]
+    )
+    fresh = result.violation_keys()
+    reproduced = recorded == fresh
+    if log:
+        if reproduced:
+            log(
+                f"replay of {path}: reproduced "
+                f"{len(fresh)} violation(s) identically"
+            )
+        else:
+            log(f"replay of {path}: MISMATCH")
+            log(f"  recorded: {recorded}")
+            log(f"  fresh   : {fresh}")
+    return reproduced, result
+
+
+__all__ = [
+    "CheckConfig",
+    "EpisodeResult",
+    "SCENARIO_STREAM",
+    "explore",
+    "replay_trace",
+    "run_episode",
+    "shrink_schedule",
+]

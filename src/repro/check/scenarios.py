@@ -1,0 +1,223 @@
+"""Seeded fault-schedule grammar.
+
+A :class:`FaultSchedule` is a sorted tuple of :class:`FaultOp` records —
+pure data, trivially serialisable, hashable, and shrinkable by dropping
+ops. :func:`generate_schedule` draws a schedule from a dedicated
+:class:`~repro.sim.rng.RngRegistry` stream, staying inside the fault
+budget the protocols tolerate (<= ``f_g`` crashed groups, <= ``f``
+Byzantine-or-crashed nodes per surviving group, partitions shorter than
+the takeover timeout), so any violation a generated schedule provokes is
+a genuine safety bug rather than an over-budget artefact.
+
+Schedules are *lowered* onto :class:`~repro.protocols.runtime.faults.
+FaultInjector` via :meth:`FaultSchedule.apply` before the simulation
+starts; the injector turns each op into simulator timers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+from typing import List, Tuple
+
+from repro.sim.network import NodeAddress
+from repro.topology.cluster import ClusterConfig
+
+#: Fault kinds the grammar can draw, in drawing order (order matters for
+#: reproducibility: changing it changes what a given seed generates).
+KINDS = ("crash_group", "crash_node", "byzantine", "partition", "slow_node")
+
+
+@dataclass(frozen=True)
+class FaultOp:
+    """One fault injection. Unused fields stay at their defaults."""
+
+    kind: str
+    at: float
+    gid: int = -1
+    index: int = -1
+    until: float = 0.0  # partition heal time
+    bandwidth: float = 0.0  # slow_node degraded bandwidth, bytes/s
+
+    def to_jsonable(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "FaultOp":
+        return cls(**data)
+
+    def describe(self) -> str:
+        if self.kind == "crash_group":
+            return f"t={self.at:.4f} crash group {self.gid}"
+        if self.kind == "crash_node":
+            return f"t={self.at:.4f} crash node {self.gid}/{self.index}"
+        if self.kind == "byzantine":
+            return f"t={self.at:.4f} corrupt node {self.gid}/{self.index}"
+        if self.kind == "partition":
+            return (
+                f"t={self.at:.4f} partition group {self.gid} "
+                f"until {self.until:.4f}"
+            )
+        if self.kind == "slow_node":
+            return (
+                f"t={self.at:.4f} throttle node {self.gid}/{self.index} "
+                f"to {self.bandwidth / 1e6:.1f} MB/s"
+            )
+        return f"t={self.at:.4f} {self.kind}"
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered, immutable set of fault ops for one episode."""
+
+    ops: Tuple[FaultOp, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def without(self, i: int) -> "FaultSchedule":
+        """The schedule minus op ``i`` — the shrinking step."""
+        return FaultSchedule(self.ops[:i] + self.ops[i + 1 :])
+
+    def apply(self, deployment) -> None:
+        """Lower every op onto the deployment's fault injector."""
+        for op in self.ops:
+            if op.kind == "crash_group":
+                deployment.crash_group_at(op.gid, op.at)
+            elif op.kind == "crash_node":
+                deployment.crash_node_at(op.gid, op.index, op.at)
+            elif op.kind == "byzantine":
+                deployment.make_byzantine_at(
+                    op.gid, count=1, at=op.at, indices=[op.index]
+                )
+            elif op.kind == "partition":
+                deployment.partition_group_at(op.gid, op.at, op.until)
+            elif op.kind == "slow_node":
+                deployment.set_node_bandwidth_at(
+                    NodeAddress(op.gid, op.index), op.bandwidth, op.at
+                )
+            else:
+                raise ValueError(f"unknown fault kind {op.kind!r}")
+
+    def describe(self) -> str:
+        if not self.ops:
+            return "(no faults)"
+        return "; ".join(op.describe() for op in self.ops)
+
+    def to_jsonable(self) -> list:
+        return [op.to_jsonable() for op in self.ops]
+
+    @classmethod
+    def from_jsonable(cls, data: list) -> "FaultSchedule":
+        return cls(tuple(FaultOp.from_jsonable(item) for item in data))
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Bounds on what :func:`generate_schedule` may draw.
+
+    ``max_partition`` must stay well below the takeover timeout: a group
+    partitioned longer than that gets taken over by a live peer while it
+    is itself still alive, and the protocols do not (and per the paper
+    need not) survive that — the network model's partitions always heal.
+    """
+
+    window: Tuple[float, float] = (0.5, 2.0)
+    min_ops: int = 1
+    max_ops: int = 5
+    max_partition: float = 0.45
+    slow_bandwidth: Tuple[float, float] = (2e6, 10e6)
+
+    def to_jsonable(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "ScenarioConfig":
+        data = dict(data)
+        for key in ("window", "slow_bandwidth"):
+            if key in data:
+                data[key] = tuple(data[key])
+        return cls(**data)
+
+
+def _round(t: float) -> float:
+    # 4 decimals keeps times stable across json round-trips.
+    return round(t, 4)
+
+
+def generate_schedule(
+    rng: random.Random, cluster: ClusterConfig, config: ScenarioConfig
+) -> FaultSchedule:
+    """Draw a within-budget fault schedule from ``rng``.
+
+    Budget accounting:
+
+    * at most ``cluster.f_g`` groups crash outright;
+    * per group, crashed + Byzantine nodes stay <= ``(n - 1) // 3``
+      (local PBFT's ``f``), with distinct victims, never index 0 (the
+      rep/observer, whose loss is a liveness scenario for the leader-based
+      baselines rather than the safety scenario under test);
+    * at most one partition per group, no longer than ``max_partition``;
+    * node slowdowns are unbudgeted — they are performance faults.
+    """
+    lo, hi = config.window
+    n_ops = rng.randint(config.min_ops, config.max_ops)
+
+    crashed_groups: set = set()
+    victims = {g.gid: set() for g in cluster.groups}  # crashed/byz indices
+    partitioned: set = set()
+    by_group = {g.gid: g for g in cluster.groups}
+
+    ops: List[FaultOp] = []
+    attempts = 0
+    while len(ops) < n_ops and attempts < n_ops * 8:
+        attempts += 1
+        kind = rng.choice(KINDS)
+        gid = rng.randrange(cluster.n_groups)
+        at = _round(rng.uniform(lo, hi))
+        if kind == "crash_group":
+            if gid in crashed_groups or len(crashed_groups) >= cluster.f_g:
+                continue
+            crashed_groups.add(gid)
+            ops.append(FaultOp(kind="crash_group", at=at, gid=gid))
+        elif kind in ("crash_node", "byzantine"):
+            group = by_group[gid]
+            budget = (group.n_nodes - 1) // 3
+            if gid in crashed_groups or len(victims[gid]) >= budget:
+                continue
+            candidates = [
+                i for i in range(1, group.n_nodes) if i not in victims[gid]
+            ]
+            if not candidates:
+                continue
+            index = rng.choice(candidates)
+            victims[gid].add(index)
+            ops.append(FaultOp(kind=kind, at=at, gid=gid, index=index))
+        elif kind == "partition":
+            if gid in partitioned or gid in crashed_groups:
+                continue
+            partitioned.add(gid)
+            length = rng.uniform(0.05, config.max_partition)
+            ops.append(
+                FaultOp(
+                    kind="partition",
+                    at=at,
+                    gid=gid,
+                    until=_round(at + length),
+                )
+            )
+        elif kind == "slow_node":
+            group = by_group[gid]
+            index = rng.randrange(group.n_nodes)
+            bandwidth = rng.uniform(*config.slow_bandwidth)
+            ops.append(
+                FaultOp(
+                    kind="slow_node",
+                    at=at,
+                    gid=gid,
+                    index=index,
+                    bandwidth=round(bandwidth, 1),
+                )
+            )
+    ops.sort(key=lambda op: (op.at, op.kind, op.gid, op.index))
+    return FaultSchedule(tuple(ops))

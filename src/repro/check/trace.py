@@ -1,0 +1,99 @@
+"""JSONL trace recording and loading for violating runs.
+
+A trace file has one JSON header line (format tag ``repro.check/1``,
+protocol, seed, check config, fault schedule, the violations observed,
+and — when shrinking ran — the minimal schedule), followed by one JSON
+line per simulation event, in publication order. The header alone is
+enough to replay the run bit-identically; the event lines exist for
+humans diagnosing the violation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+from repro.protocols.runtime.events import (
+    EntryAvailableRemote,
+    EntryBatched,
+    EntryExecuted,
+    EntryGloballyCommitted,
+    EntryLocallyCommitted,
+    EventBus,
+    FaultInjected,
+    ProposalGated,
+    ValueCertified,
+)
+
+FORMAT = "repro.check/1"
+
+#: Event types worth recording, with their wire names.
+_RECORDED = {
+    EntryBatched: "batched",
+    EntryLocallyCommitted: "local_committed",
+    EntryAvailableRemote: "available_remote",
+    EntryGloballyCommitted: "global_committed",
+    EntryExecuted: "executed",
+    ValueCertified: "certified",
+    FaultInjected: "fault",
+    ProposalGated: "gated",
+}
+
+
+class EventRecorder:
+    """Subscribes to every recorded event type and keeps JSON-ready dicts."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+
+    @classmethod
+    def attach(cls, bus: EventBus) -> "EventRecorder":
+        recorder = cls()
+        for event_type, name in _RECORDED.items():
+            bus.subscribe(
+                event_type,
+                lambda event, name=name: recorder._record(name, event),
+            )
+        return recorder
+
+    def _record(self, name: str, event: Any) -> None:
+        data = asdict(event)
+        entry_id = data.pop("entry_id", None)
+        if entry_id is not None:
+            # EntryId is a (gid, seq) named tuple-ish dataclass; flatten it.
+            data["gid"] = event.entry_id.gid
+            data["seq"] = event.entry_id.seq
+        # Certificates are objects; signer_count already captures them.
+        data.pop("certificate", None)
+        # Per-transaction commit stamps are bulky; keep the count.
+        if "commit_times" in data:
+            data["tx_committed"] = len(data.pop("commit_times"))
+        data["event"] = name
+        self.records.append(data)
+
+
+def write_trace(
+    path: Path, header: Dict[str, Any], records: List[Dict[str, Any]]
+) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"format": FORMAT, **header}) + "\n")
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+
+
+def read_trace(path: Path) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Load a trace; returns (header, event records)."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        header = json.loads(fh.readline())
+        if header.get("format") != FORMAT:
+            raise ValueError(
+                f"{path} is not a {FORMAT} trace "
+                f"(format={header.get('format')!r})"
+            )
+        records = [json.loads(line) for line in fh if line.strip()]
+    return header, records

@@ -5,6 +5,7 @@ Usage (after ``pip install -e .``)::
     python -m repro plan 4 7                 # Algorithm 1 transfer plan
     python -m repro run --protocol massbft   # one deployment run
     python -m repro compare --workload tpcc  # all protocols side by side
+    python -m repro check --episodes 20      # safety-invariant sweep
 
 Every option mirrors a :class:`repro.protocols.base.GeoDeployment`
 constructor argument; defaults reproduce the paper's nationwide setup.
@@ -14,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.bench.report import format_table
@@ -69,6 +71,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated protocol names",
     )
     add_run_options(compare)
+
+    check = sub.add_parser(
+        "check",
+        help="deterministic simulation checker: sweep seeded fault "
+        "schedules and audit safety invariants",
+    )
+    check.add_argument(
+        "--protocols",
+        default="massbft,geobft",
+        help="comma-separated protocol names (massbft-weak is the "
+        "intentionally unsafe sensitivity variant)",
+    )
+    check.add_argument("--episodes", type=int, default=20, help="seeds per protocol")
+    check.add_argument("--seed", type=int, default=0, help="base seed")
+    check.add_argument("--duration", type=float, default=None)
+    check.add_argument("--load", type=float, default=None, help="offered txns/s per group")
+    check.add_argument("--groups", type=int, default=None)
+    check.add_argument("--nodes", type=int, default=None, help="nodes per group")
+    check.add_argument(
+        "--trace-dir",
+        default="check-traces",
+        help="directory for violation traces (JSONL)",
+    )
+    check.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip schedule minimisation of violating episodes",
+    )
+    check.add_argument(
+        "--expect-violation",
+        action="store_true",
+        help="invert the exit code: fail if NO violation is found "
+        "(CI sensitivity check for the weak variant)",
+    )
+    check.add_argument(
+        "--replay",
+        metavar="TRACE",
+        default=None,
+        help="replay a recorded trace instead of sweeping; exit 0 iff "
+        "the violation reproduces identically",
+    )
     return parser
 
 
@@ -147,9 +190,57 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    # Imported lazily: the checker pulls in the whole runtime and is only
+    # needed by this subcommand.
+    from repro.check import CheckConfig, explore, replay_trace
+
+    if args.replay is not None:
+        reproduced, result = replay_trace(Path(args.replay), log=print)
+        return 0 if reproduced else 1
+
+    overrides = {
+        key: value
+        for key, value in (
+            ("duration", args.duration),
+            ("offered_load", args.load),
+            ("n_groups", args.groups),
+            ("nodes_per_group", args.nodes),
+        )
+        if value is not None
+    }
+    config = CheckConfig(**overrides)
+    protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
+    results = explore(
+        protocols,
+        episodes=args.episodes,
+        base_seed=args.seed,
+        config=config,
+        trace_dir=Path(args.trace_dir),
+        shrink=not args.no_shrink,
+        log=print,
+    )
+    violating = [r for r in results if not r.ok]
+    print(
+        f"\n{len(results)} episode(s), {len(violating)} violating "
+        f"({', '.join(sorted({v.invariant for r in violating for v in r.violations})) or 'all invariants held'})"
+    )
+    if args.expect_violation:
+        if violating:
+            return 0
+        print("expected a violation (sensitivity check) but none was found")
+        return 1
+    return 1 if violating else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"plan": cmd_plan, "run": cmd_run, "compare": cmd_compare}
+    handlers = {
+        "plan": cmd_plan,
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "check": cmd_check,
+    }
     return handlers[args.command](args)
 
 

@@ -28,9 +28,10 @@ TsAssignment = Tuple[int, int, int]
 @dataclass
 class GRPropose:
     """Instance leader's propose: digest + certificate (entry travels
-    separately via the transport). Piggybacks pending timestamp
-    assignments made by the proposing group (its Raft instance is the
-    replication vehicle for them)."""
+    separately via the transport). ``ts_assignments`` may piggyback
+    timestamp assignments; the stock runtime leaves it empty — values
+    must reach observers in each assigner's creation order, which only
+    the reliable stream (:class:`GRTsReplicate`) guarantees."""
 
     instance: int
     seq: int
@@ -56,8 +57,9 @@ class GRAccept:
 
     Carries the acceptor group's clock assignment for the entry
     (overlapped VTS, Fig 7b). In MassBFT this message is broadcast to
-    *all* representatives — both for the slow-receiver optimisation
-    (Section V-C) and as the prompt vehicle for VTS replication.
+    *all* representatives for the slow-receiver optimisation
+    (Section V-C); the assignment value itself is replicated by the
+    reliable in-order stream, never consumed from this message.
     """
 
     instance: int
@@ -86,19 +88,69 @@ class GRCommit:
 
 @dataclass
 class GRTsReplicate:
-    """Standalone timestamp-assignment flush.
+    """One batch of a reliable, in-order assignment stream.
 
-    Used (a) by idle/slow groups so their assignments do not wait for a
-    piggyback opportunity, and (b) by a takeover group assigning on
-    behalf of a crashed group's clock.
+    Each representative replicates its clock's assignments (and, while
+    leading a takeover, the crashed group's) as an append-only log: every
+    flush resends the log suffix past what the receiver last acknowledged
+    (:class:`GRTsAck`), so batches swallowed by a partition are simply
+    retransmitted on the next flush. ``start_index`` positions the batch
+    in the stream (receivers apply only the unseen tail); ``origin`` is
+    the sending group (equal to ``assigner`` except under takeover);
+    ``safe_through`` carries the assigner instance's *committed*
+    high-water so receivers can assign their own clock element for
+    entries whose propose/accept messages they missed entirely. It must
+    never run ahead of commitment: a committed entry's body provably
+    reached an accept quorum and stays fetchable, whereas completing the
+    VTS of a never-committed entry whose chunks were lost would wedge
+    Algorithm 2 at every observer behind an unfetchable global minimum
+    (uncommitted entries instead stay partially set and are passed over
+    through inferred lower bounds).
     """
 
     assigner: int
     assignments: Tuple[TsAssignment, ...]
+    origin: int = -1
+    start_index: int = 0
+    safe_through: int = 0
 
     @property
     def size_bytes(self) -> int:
-        return HEADER_SIZE + 12 * len(self.assignments)
+        return HEADER_SIZE + 8 + 12 * len(self.assignments)
+
+
+@dataclass
+class GRTsAck:
+    """Receiver's cumulative acknowledgement of an assignment stream."""
+
+    assigner: int
+    origin: int
+    through: int
+    safe_through: int
+
+    @property
+    def size_bytes(self) -> int:
+        return HEADER_SIZE + 8
+
+
+@dataclass
+class GREntryPush:
+    """Full-entry retransmission to a group that missed the chunks.
+
+    The normal transports are fire-and-forget; when the origin sees a
+    live group that still has not accepted ``(instance, seq)`` after a
+    retry timeout (e.g. the chunks were swallowed by a partition), it
+    pushes the whole entry to that group's representative, which relays
+    it over the LAN. The reconciliation fallback of Section V-C."""
+
+    instance: int
+    seq: int
+    entry_size: int
+    cert_size: int
+
+    @property
+    def size_bytes(self) -> int:
+        return HEADER_SIZE + self.entry_size + self.cert_size
 
 
 @dataclass
@@ -116,15 +168,26 @@ class GRTakeoverRequest:
 
 @dataclass
 class GRTakeoverVote:
+    """Takeover vote; when granted it carries every assignment the voter
+    ever received from the crashed group's clock, so the elected leader
+    replays them before inventing frozen-clock values — the equivalent of
+    a Raft leader completing the log before serving (no live replica's
+    consumed assignment can be contradicted). ``frozen`` is the voter's
+    own frozen-clock estimate for the instance, so the leader's frozen
+    value ends up >= any lower bound a live observer may have inferred
+    from the crashed clock's past assignments."""
+
     instance: int
     candidate: int
     term: int
     voter: int
     granted: bool
+    known: Tuple[TsAssignment, ...] = ()
+    frozen: int = 0
 
     @property
     def size_bytes(self) -> int:
-        return HEADER_SIZE
+        return HEADER_SIZE + 12 * len(self.known)
 
 
 # ----------------------------------------------------------------------
@@ -168,6 +231,10 @@ class OutstandingEntry:
     accepts: Set[int] = field(default_factory=set)
     committed: bool = False
     commit_pbft_started: bool = False
+    #: Accept quorum reached (commit round may still be gated on order).
+    quorum_reached: bool = False
+    #: When the propose went out; drives entry-body retransmission.
+    proposed_at: float = 0.0
 
 
 @dataclass
@@ -200,6 +267,9 @@ class InstanceState:
     takeover_leader: Optional[int] = None
     takeover_term: int = 0
     takeover_votes: Set[int] = field(default_factory=set)
+    #: Voters' reported knowledge of the owner's assignments:
+    #: (gid, seq) -> ts, merged from granted takeover votes.
+    takeover_known: Dict[Tuple[int, int], int] = field(default_factory=dict)
     #: Frozen clock value a takeover leader assigns on the owner's behalf.
     frozen_clock: int = 0
 

@@ -8,7 +8,7 @@ can compare ledgers with a single digest.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.core.entry import EntryId, LogEntry
 from repro.crypto.hashing import digest
@@ -78,3 +78,23 @@ class GlobalLedger:
         if n == 0:
             return True
         return self.records[n - 1].ledger_hash == other.records[n - 1].ledger_hash
+
+    def divergence(self, other: "GlobalLedger") -> Optional[int]:
+        """The first height at which the two ledgers disagree, or None.
+
+        Because ledger hashes chain, equality at height ``h`` implies the
+        whole prefix up to ``h`` is equal, so the split point can be found
+        by bisection. A no-fork audit failure reported through this method
+        pinpoints exactly where two replicas' histories diverged.
+        """
+        n = min(self.height, other.height)
+        if n == 0 or self.records[n - 1].ledger_hash == other.records[n - 1].ledger_hash:
+            return None
+        lo, hi = 0, n - 1  # invariant: the first divergent height is in [lo, hi]
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.records[mid].ledger_hash == other.records[mid].ledger_hash:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo

@@ -98,6 +98,18 @@ def ebr() -> ProtocolSpec:
     )
 
 
+def massbft_weak() -> ProtocolSpec:
+    """TEST-ONLY: MassBFT with the global commit quorum weakened to 1.
+
+    A group then commits its own entries as soon as local PBFT certifies
+    them — before any peer group holds the entry — so a group crash can
+    lose globally committed entries. This variant exists solely so
+    :mod:`repro.check` can demonstrate that its invariants detect real
+    agreement bugs (soundness *and* sensitivity); never benchmark it.
+    """
+    return replace(massbft(), name="MassBFT-weak", unsafe_commit_quorum=1)
+
+
 _FACTORIES = {
     "massbft": massbft,
     "baseline": baseline,
@@ -107,6 +119,7 @@ _FACTORIES = {
     "br": br,
     "ebr": ebr,
     "ebr+a": massbft,  # Fig 12's name for full MassBFT
+    "massbft-weak": massbft_weak,  # test-only, for repro.check sensitivity
 }
 
 

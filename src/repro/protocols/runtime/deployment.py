@@ -260,6 +260,12 @@ class GeoDeployment:
     ) -> None:
         self.faults.set_node_bandwidth_at(addr, bandwidth, at)
 
+    def crash_node_at(self, gid: int, index: int, at: float) -> None:
+        self.faults.crash_node_at(gid, index, at)
+
+    def partition_group_at(self, gid: int, at: float, until: float) -> None:
+        self.faults.partition_group_at(gid, at, until)
+
     # ------------------------------------------------------------------
     # Run
     # ------------------------------------------------------------------

@@ -79,6 +79,37 @@ class EntryExecuted:
 
 
 @dataclass(frozen=True)
+class ValueCertified:
+    """Local PBFT certified a value (entry, accept, or commit receipt).
+
+    Published once per certified value, at the group representative.
+    ``certificate`` carries the :class:`~repro.crypto.certificates.
+    QuorumCertificate` so auditors (e.g. ``repro.check``) can verify
+    quorum size and signatures; trace recorders drop the object and keep
+    only ``signer_count``.
+    """
+
+    gid: int
+    at: float
+    kind: str  # "entry" | "accept" | "commit"
+    entry_id: EntryId
+    signer_count: int
+    quorum: int
+    certificate: Any = None
+
+
+@dataclass(frozen=True)
+class FaultInjected:
+    """The fault injector applied a scheduled fault to the deployment."""
+
+    at: float
+    kind: str  # "crash_group" | "crash_node" | "byzantine" | "partition" | "heal" | "slow_node"
+    gid: int
+    index: int = -1
+    detail: str = ""
+
+
+@dataclass(frozen=True)
 class QueueDepthsSampled:
     """Admission-gate snapshot taken when a group evaluates its windows."""
 

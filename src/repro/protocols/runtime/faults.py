@@ -1,15 +1,20 @@
 """Fault injection stage: the Fig 15 failure experiments.
 
 Schedules whole-group crashes (with instance takeover downstream),
-Byzantine chunk tampering, and per-node bandwidth degradation against a
-running deployment. Kept apart from the protocol stages so failure
-scenarios compose with any protocol.
+single-node crashes, Byzantine chunk tampering, WAN partitions, and
+per-node bandwidth degradation against a running deployment. Kept apart
+from the protocol stages so failure scenarios compose with any protocol.
+
+Every applied fault is announced on the deployment's event bus as a
+:class:`~repro.protocols.runtime.events.FaultInjected` event, so trace
+recorders (``repro.check``) see faults interleaved with protocol events.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.protocols.runtime.events import FaultInjected
 from repro.sim.network import NodeAddress
 
 
@@ -19,6 +24,20 @@ class FaultInjector:
     def __init__(self, deployment) -> None:
         self.deployment = deployment
 
+    def _announce(
+        self, kind: str, gid: int, index: int = -1, detail: str = ""
+    ) -> None:
+        deployment = self.deployment
+        deployment.bus.publish(
+            FaultInjected(
+                at=deployment.sim.now,
+                kind=kind,
+                gid=gid,
+                index=index,
+                detail=detail,
+            )
+        )
+
     def crash_group_at(self, gid: int, at: float) -> None:
         """Schedule a whole-datacenter outage (Fig 15's solid line)."""
         deployment = self.deployment
@@ -26,6 +45,17 @@ class FaultInjector:
         def crash() -> None:
             for node in deployment.groups[gid].members:
                 node.crash()
+            self._announce("crash_group", gid)
+
+        deployment.sim.schedule_at(at, crash)
+
+    def crash_node_at(self, gid: int, index: int, at: float) -> None:
+        """Schedule a single member crash (within-group node failure)."""
+        deployment = self.deployment
+
+        def crash() -> None:
+            deployment.groups[gid].members[index].crash()
+            self._announce("crash_node", gid, index)
 
         deployment.sim.schedule_at(at, crash)
 
@@ -54,13 +84,41 @@ class FaultInjector:
                 ][:count]
             for node in victims:
                 node.make_byzantine()
+                self._announce("byzantine", gid, node.index)
 
         deployment.sim.schedule_at(at, corrupt)
+
+    def partition_group_at(self, gid: int, at: float, until: float) -> None:
+        """Cut a group's WAN links over ``[at, until)`` (LAN keeps working).
+
+        Messages crossing the partition are swallowed, not queued — the
+        group falls silent to its peers and its own entries stall until
+        the partition heals.
+        """
+        if until <= at:
+            raise ValueError(f"partition must heal after it starts ({until} <= {at})")
+        deployment = self.deployment
+
+        def cut() -> None:
+            deployment.network.partition_group(gid)
+            self._announce("partition", gid, detail=f"until={until:.4f}")
+
+        def heal() -> None:
+            deployment.network.heal_partition(gid)
+            self._announce("heal", gid)
+
+        deployment.sim.schedule_at(at, cut)
+        deployment.sim.schedule_at(until, heal)
 
     def set_node_bandwidth_at(
         self, addr: NodeAddress, bandwidth: float, at: float
     ) -> None:
         deployment = self.deployment
-        deployment.sim.schedule_at(
-            at, lambda: deployment.network.set_node_bandwidth(addr, bandwidth)
-        )
+
+        def degrade() -> None:
+            deployment.network.set_node_bandwidth(addr, bandwidth)
+            self._announce(
+                "slow_node", addr.group, addr.index, detail=f"bw={bandwidth:.0f}"
+            )
+
+        deployment.sim.schedule_at(at, degrade)

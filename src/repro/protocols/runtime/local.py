@@ -13,8 +13,8 @@ from __future__ import annotations
 from typing import Any
 
 from repro.consensus.pbft import ModeledPbftGroup
-from repro.core.entry import LogEntry
-from repro.protocols.runtime.events import EntryLocallyCommitted
+from repro.core.entry import EntryId, LogEntry
+from repro.protocols.runtime.events import EntryLocallyCommitted, ValueCertified
 from repro.protocols.runtime.values import AcceptValue, CommitValue
 
 
@@ -57,13 +57,36 @@ class LocalConsensusStage:
     def _make_callback(self, node):
         def on_committed(seq: int, value: Any, cert: Any) -> None:
             if isinstance(value, LogEntry):
+                self._publish_certified(node, "entry", value.entry_id, cert)
                 self._on_entry_locally_committed(node, value)
             elif isinstance(value, AcceptValue):
+                self._publish_certified(
+                    node, "accept", EntryId(value.instance, value.seq), cert
+                )
                 self.group.global_phase.on_accept_certified(node, value)
             elif isinstance(value, CommitValue):
+                self._publish_certified(
+                    node, "commit", EntryId(value.instance, value.seq), cert
+                )
                 self.group.global_phase.on_commit_certified(node, value)
 
         return on_committed
+
+    def _publish_certified(self, node, kind: str, entry_id, cert) -> None:
+        group = self.group
+        if not group.is_rep(node):
+            return
+        group.deployment.bus.publish(
+            ValueCertified(
+                gid=group.gid,
+                at=group.sim.now,
+                kind=kind,
+                entry_id=entry_id,
+                signer_count=getattr(cert, "signer_count", 0),
+                quorum=self.pbft.quorum,
+                certificate=cert,
+            )
+        )
 
     def _on_entry_locally_committed(self, node, entry: LogEntry) -> None:
         group = self.group

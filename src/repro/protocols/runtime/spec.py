@@ -44,6 +44,11 @@ class ProtocolSpec:
     ``ordering``: "round" | "async" | "sequence".
     ``epoch_slots``: ISS-style epoch gating (entries per epoch), or None.
     ``stages``: optional :class:`StageOverrides` swapping stage factories.
+    ``unsafe_commit_quorum``: TEST-ONLY override of the global commit
+    quorum (normally ``f_g + 1`` accepting groups). Setting it below the
+    real quorum deliberately breaks agreement under group crashes; it
+    exists so :mod:`repro.check` can prove its invariants detect real
+    protocol bugs. Never set it in a benchmark or production spec.
     """
 
     name: str
@@ -54,6 +59,7 @@ class ProtocolSpec:
     epoch_slots: Optional[int] = None
     multi_master: bool = True
     stages: Optional[StageOverrides] = field(default=None, compare=False)
+    unsafe_commit_quorum: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.transport not in ("leader", "bijective", "encoded"):
@@ -64,3 +70,5 @@ class ProtocolSpec:
             raise ValueError(f"unknown ordering {self.ordering!r}")
         if self.ordering == "async" and self.global_consensus != "raft":
             raise ValueError("asynchronous VTS ordering requires global Raft")
+        if self.unsafe_commit_quorum is not None and self.unsafe_commit_quorum < 1:
+            raise ValueError("unsafe_commit_quorum must be >= 1 when set")

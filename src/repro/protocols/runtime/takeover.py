@@ -11,11 +11,7 @@ from __future__ import annotations
 
 from typing import List, Set, Tuple
 
-from repro.core.global_raft import (
-    GRTakeoverRequest,
-    GRTakeoverVote,
-    GRTsReplicate,
-)
+from repro.core.global_raft import GRTakeoverRequest, GRTakeoverVote
 from repro.core.ordering import DeterministicOrderer
 
 
@@ -63,14 +59,27 @@ class TakeoverMixin:
             >= self.deployment.takeover_timeout / 2
         )
         granted = silent and request.term > state.takeover_term
+        known: Tuple[Tuple[int, int, int], ...] = ()
         if granted:
             state.takeover_term = request.term
+            # Ship everything we ever learned from the crashed group's
+            # clock: the leader replays it before assigning frozen values,
+            # so no assignment any of our observers already ordered by can
+            # be contradicted (log completion, as in a Raft leader change).
+            known = tuple(
+                (g, s, t)
+                for (g, s), t in sorted(
+                    self.archive.get(request.instance, {}).items()
+                )
+            )
         vote = GRTakeoverVote(
             instance=request.instance,
             candidate=request.candidate,
             term=request.term,
             voter=self.gid,
             granted=granted,
+            known=known,
+            frozen=state.frozen_clock if granted else 0,
         )
         rep = self.deployment.groups[request.candidate].rep
         node.send(rep.addr, vote, vote.size_bytes, priority=True)
@@ -82,27 +91,56 @@ class TakeoverMixin:
         state = self.instances[vote.instance]
         if vote.term != state.takeover_term or state.takeover_leader is not None:
             return
+        for g, s, t in vote.known:
+            state.takeover_known.setdefault((g, s), t)
+        # Our frozen value must not regress below any lower bound a
+        # voter's observers may have inferred from the crashed clock.
+        state.frozen_clock = max(state.frozen_clock, vote.frozen)
         state.takeover_votes.add(vote.voter)
         if len(state.takeover_votes) >= self.deployment.f_g + 1:
             state.takeover_leader = self.gid
             self._start_takeover_assignments(node, vote.instance)
 
     def _start_takeover_assignments(self, node, instance: int) -> None:
-        """Assign the crashed group's frozen clock to everything pending.
+        """Replay the crashed group's known assignments, then assign its
+        frozen clock to everything still missing that VTS element.
 
-        The representative's orderer knows exactly which entries still
-        lack element ``instance`` (including committed-but-unexecuted
-        ones whose engine slots were already pruned), so it is the sweep
-        source; the follower-slot sweep alone would miss entries that
-        committed without the crashed group's accept.
+        Replay first: granted votes carried every assignment the voters
+        received from the crashed clock, so any value some live observer
+        may already have ordered by is re-broadcast instead of being
+        contradicted by a frozen value. Only entries no live group knows
+        an assignment for get the frozen clock. The sweep source is the
+        representative's orderer (it knows exactly which entries still
+        lack element ``instance``, including committed-but-unexecuted
+        ones whose engine slots were already pruned) plus the follower
+        slots and our own outstanding proposals.
         """
         state = self.instances[instance]
+        log = self.takeover_logs.setdefault(instance, [])
+        known = self.archive.setdefault(instance, {})
+        # Replay in timestamp order: stream receivers apply the log
+        # in sequence, and the orderer's lower-bound inference assumes
+        # each assigner's values arrive non-decreasing. (The frozen
+        # sweep below appends a single value >= all of these.)
+        replay = sorted(
+            (
+                (g, s, t)
+                for (g, s), t in state.takeover_known.items()
+                if (g, s) not in known
+            ),
+            key=lambda a: (a[2], a[0], a[1]),
+        )
+        if replay:
+            log.extend(replay)
+            self._notify_ts(node, [(instance, g, s, t) for (g, s, t) in replay])
+        if known:
+            state.frozen_clock = max(state.frozen_clock, max(known.values()))
         frozen = state.frozen_clock
         assignments: List[Tuple[int, int, int]] = []
         seen: Set[Tuple[int, int]] = set()
 
         def need(gid: int, seq: int) -> None:
-            if gid != instance and (gid, seq) not in seen:
+            if gid != instance and (gid, seq) not in seen and (gid, seq) not in known:
                 seen.add((gid, seq))
                 assignments.append((gid, seq, frozen))
 
@@ -119,23 +157,20 @@ class TakeoverMixin:
         for seq in self.instances[self.gid].outstanding:
             need(self.gid, seq)
         if assignments:
-            self._broadcast_takeover_ts(node, instance, assignments)
+            log.extend(assignments)
+            self._notify_ts(
+                node, [(instance, g, s, t) for (g, s, t) in assignments]
+            )
 
     def _takeover_assign(self, node, gid: int, seq: int) -> None:
-        """While leading a takeover, stamp new entries with the frozen clock."""
-        for instance, state in self.instances.items():
-            if state.takeover_leader == self.gid and instance != gid:
-                self._broadcast_takeover_ts(
-                    node, instance, [(gid, seq, state.frozen_clock)]
-                )
+        """While leading a takeover, stamp new entries with the frozen clock.
 
-    def _broadcast_takeover_ts(
-        self, node, instance: int, assignments: List[Tuple[int, int, int]]
-    ) -> None:
-        flush = GRTsReplicate(assigner=instance, assignments=tuple(assignments))
-        for gid in self.deployment.other_groups(self.gid):
-            rep = self.deployment.groups[gid].rep
-            node.send(rep.addr, flush, flush.size_bytes, priority=True)
-        self._notify_ts(
-            node, [(instance, g, s, t) for (g, s, t) in assignments]
-        )
+        Appended to the takeover stream log — the periodic flush delivers
+        (and redelivers) it to every live representative."""
+        for instance, state in self.instances.items():
+            if state.takeover_leader != self.gid or instance == gid:
+                continue
+            if (gid, seq) in self.archive.get(instance, {}):
+                continue
+            self.takeover_logs[instance].append((gid, seq, state.frozen_clock))
+            self._notify_ts(node, [(instance, gid, seq, state.frozen_clock)])

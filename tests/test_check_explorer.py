@@ -1,0 +1,177 @@
+"""Tests for the checker's explorer: schedule generation, episode
+determinism, weak-variant sensitivity, trace replay, and shrinking."""
+
+import json
+
+import pytest
+
+from repro.check import (
+    CheckConfig,
+    FaultOp,
+    FaultSchedule,
+    ScenarioConfig,
+    generate_schedule,
+    replay_trace,
+    run_episode,
+    shrink_schedule,
+)
+from repro.check.explorer import SCENARIO_STREAM, _record_trace, explore
+from repro.cli import main
+from repro.sim.rng import RngRegistry
+from repro.topology import scaled_cluster
+
+#: Fast episode config for the tests: short run, light load, a crash
+#: early enough that commit_slack leaves room for takeover.
+FAST = CheckConfig(duration=3.0, offered_load=500.0, commit_slack=1.5)
+
+#: Crashing a whole group is the schedule the weak quorum cannot survive:
+#: with ``unsafe_commit_quorum=1`` a group commits entries before any
+#: peer holds them, so its crash erases committed history.
+CRASH = FaultSchedule((FaultOp(kind="crash_group", at=1.2, gid=1),))
+
+
+def _gen(seed, config=None, cluster=None):
+    rng = RngRegistry(seed).stream(SCENARIO_STREAM)
+    return generate_schedule(
+        rng,
+        cluster or scaled_cluster(n_groups=3, nodes_per_group=4),
+        config or ScenarioConfig(),
+    )
+
+
+class TestScheduleGeneration:
+    def test_same_seed_same_schedule(self):
+        assert _gen(7) == _gen(7)
+        assert _gen(7) != _gen(8)
+
+    def test_schedules_respect_fault_budgets(self):
+        cluster = scaled_cluster(n_groups=3, nodes_per_group=4)
+        config = ScenarioConfig(min_ops=3, max_ops=5)
+        for seed in range(30):
+            schedule = _gen(seed, config, cluster)
+            crashed_groups = set()
+            victims = {g.gid: set() for g in cluster.groups}
+            for op in schedule.ops:
+                if op.kind == "crash_group":
+                    crashed_groups.add(op.gid)
+                elif op.kind in ("crash_node", "byzantine"):
+                    assert op.index != 0  # never the rep/observer
+                    victims[op.gid].add(op.index)
+                elif op.kind == "partition":
+                    assert op.until - op.at <= config.max_partition + 1e-9
+            assert len(crashed_groups) <= cluster.f_g
+            for v in victims.values():
+                assert len(v) <= (4 - 1) // 3
+
+    def test_ops_sorted_by_time(self):
+        for seed in range(10):
+            times = [op.at for op in _gen(seed).ops]
+            assert times == sorted(times)
+
+    def test_jsonable_roundtrip(self):
+        schedule = _gen(3)
+        encoded = json.dumps(schedule.to_jsonable())
+        assert FaultSchedule.from_jsonable(json.loads(encoded)) == schedule
+        config = ScenarioConfig(max_ops=2)
+        assert ScenarioConfig.from_jsonable(config.to_jsonable()) == config
+
+    def test_without_drops_one_op(self):
+        schedule = FaultSchedule(
+            (
+                FaultOp(kind="crash_group", at=1.0, gid=0),
+                FaultOp(kind="partition", at=1.5, gid=1, until=1.7),
+            )
+        )
+        shrunk = schedule.without(0)
+        assert len(shrunk) == 1 and shrunk.ops[0].kind == "partition"
+
+
+class TestEpisodeDeterminism:
+    def test_same_inputs_same_outcome(self):
+        a = run_episode("massbft-weak", 1, FAST, schedule=CRASH)
+        b = run_episode("massbft-weak", 1, FAST, schedule=CRASH)
+        assert a.violation_keys() == b.violation_keys()
+        assert (a.committed, a.executed) == (b.committed, b.executed)
+
+
+class TestWeakQuorumSensitivity:
+    """The checker must catch the planted bug — and only there."""
+
+    @pytest.fixture(scope="class")
+    def weak_result(self):
+        return run_episode("massbft-weak", 1, FAST, schedule=CRASH)
+
+    def test_weak_variant_loses_committed_entries(self, weak_result):
+        assert any(
+            v.invariant == "committed-entry-lost"
+            for v in weak_result.violations
+        )
+
+    def test_stock_variant_survives_same_schedule(self):
+        result = run_episode("massbft", 1, FAST, schedule=CRASH)
+        assert result.violations == []
+        assert result.committed > 0
+
+    def test_shrink_drops_superfluous_ops(self, weak_result):
+        padded = FaultSchedule(
+            CRASH.ops
+            + (
+                FaultOp(kind="slow_node", at=0.6, gid=0, index=2,
+                        bandwidth=8e6),
+                FaultOp(kind="slow_node", at=0.8, gid=2, index=1,
+                        bandwidth=6e6),
+            )
+        )
+        result = run_episode("massbft-weak", 1, FAST, schedule=padded)
+        assert result.violations
+        shrunk = shrink_schedule(
+            "massbft-weak", 1, padded, FAST,
+            target_invariants={"committed-entry-lost"},
+        )
+        assert len(shrunk) < len(padded)
+        assert all(op.kind == "crash_group" for op in shrunk.ops)
+
+    def test_trace_records_and_replays_identically(
+        self, weak_result, tmp_path
+    ):
+        path = _record_trace(weak_result, FAST, tmp_path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["format"] == "repro.check/1"
+        assert header["violations"]
+        reproduced, fresh = replay_trace(path)
+        assert reproduced
+        assert fresh.violation_keys() == weak_result.violation_keys()
+
+
+class TestExploreSweep:
+    def test_small_clean_sweep(self, tmp_path):
+        results = explore(
+            ["massbft"],
+            episodes=2,
+            base_seed=3,
+            config=FAST,
+            trace_dir=tmp_path,
+            shrink=False,
+        )
+        assert len(results) == 2
+        assert all(r.ok for r in results)
+        assert not list(tmp_path.iterdir())  # no traces for clean runs
+
+
+class TestCheckCli:
+    def test_check_exit_codes(self, tmp_path, capsys):
+        args = [
+            "check",
+            "--episodes", "1",
+            "--seed", "3",
+            "--duration", "1.5",
+            "--load", "400",
+            "--trace-dir", str(tmp_path),
+            "--no-shrink",
+        ]
+        assert main(args + ["--protocols", "massbft"]) == 0
+        # Same clean sweep fails the sensitivity (expect-violation) mode.
+        assert main(
+            args + ["--protocols", "massbft", "--expect-violation"]
+        ) == 1
+        capsys.readouterr()

@@ -1,0 +1,138 @@
+"""Unit tests for the safety-invariant suite (repro.check.invariants)."""
+
+import pytest
+
+from repro.check import CheckConfig, InvariantSuite, Violation, run_episode
+from repro.core.entry import EntryId, LogEntry
+from repro.protocols.runtime.events import EntryGloballyCommitted
+
+#: Small, fast episode config shared by the checker tests: one second of
+#: healthy traffic is plenty for the online checks to see real events.
+FAST = CheckConfig(duration=1.5, offered_load=400.0, commit_slack=0.75)
+
+
+@pytest.fixture(scope="module")
+def clean_episode():
+    """One healthy massbft episode with the suite attached (no faults)."""
+    from repro.check.scenarios import FaultSchedule
+
+    holder = {}
+
+    def sink(deployment):
+        holder["deployment"] = deployment
+        return None
+
+    result = run_episode(
+        "massbft", 0, FAST, schedule=FaultSchedule(), recorder_sink=sink
+    )
+    return result, holder["deployment"]
+
+
+class TestViolation:
+    def test_key_ignores_time_and_prose(self):
+        a = Violation("agreement-no-fork", at=1.0, message="x", gid=1, seq=2)
+        b = Violation("agreement-no-fork", at=9.0, message="y", gid=1, seq=2)
+        assert a.key() == b.key()
+        assert a.key() != Violation("agreement-no-fork", 1.0, "x", gid=2).key()
+
+    def test_jsonable_roundtrip(self):
+        v = Violation("state-determinism", at=4.5, message="m", height=7)
+        assert Violation.from_jsonable(v.to_jsonable()) == v
+
+
+class TestCleanRun:
+    def test_healthy_episode_raises_nothing(self, clean_episode):
+        result, _ = clean_episode
+        assert result.violations == []
+        assert result.committed > 0
+        assert result.executed > 0
+
+    def test_online_checkers_saw_traffic(self, clean_episode):
+        result, deployment = clean_episode
+        # Executed entries were recorded for every honest live observer.
+        assert result.executed >= result.committed - 5
+
+
+class TestDetection:
+    """Each audit fires when its invariant is deliberately broken.
+
+    A fresh clean deployment is corrupted post-run; the suite must spot
+    each corruption. This guards the checker itself — a checker that
+    cannot see planted violations proves nothing when it reports none.
+    """
+
+    def _fresh(self):
+        from repro.check.scenarios import FaultSchedule
+        from repro.protocols import GeoDeployment, protocol_by_name
+        from repro.topology import scaled_cluster
+        from repro.workloads import make_workload
+
+        deployment = GeoDeployment(
+            scaled_cluster(n_groups=3, nodes_per_group=4),
+            protocol_by_name("massbft"),
+            make_workload("ycsb-a"),
+            offered_load=FAST.offered_load,
+            seed=3,
+            observers="all",
+        )
+        suite = InvariantSuite.attach(deployment, commit_slack=FAST.commit_slack)
+        deployment.run(duration=FAST.duration)
+        return deployment, suite
+
+    def _observers(self, deployment):
+        return [
+            n
+            for n in deployment.nodes.values()
+            if n.is_observer and not n.crashed and n.ledger is not None
+        ]
+
+    def test_fork_detected_with_height(self):
+        deployment, suite = self._fresh()
+        a, b = self._observers(deployment)[:2]
+        fork_height = a.ledger.height
+        seq = a.ledger.subchains[0].height + 1  # next valid gid-0 seq
+        a.ledger.append(LogEntry(gid=0, seq=seq, payload=b"left"))
+        # Same position, different record: the common prefix itself
+        # diverges (prefix-of relations are not forks).
+        b.ledger.append(LogEntry(gid=0, seq=seq, payload=b"right"))
+        violations = suite.audit(end_time=FAST.duration)
+        forks = [v for v in violations if v.invariant == "agreement-no-fork"]
+        assert forks and forks[0].height == fork_height
+
+    def test_duplicate_commit_detected(self):
+        deployment, suite = self._fresh()
+        entry_id = next(iter(suite.committed))
+        deployment.bus.publish(EntryGloballyCommitted(entry_id, 99.0))
+        assert any(
+            v.invariant == "no-duplicate-commit" and v.gid == entry_id.gid
+            for v in suite.violations
+        )
+
+    def test_lost_commit_detected(self):
+        deployment, suite = self._fresh()
+        ghost = EntryId(0, 40_000)
+        suite.committed[ghost] = 0.1  # "committed" but in no ledger
+        violations = suite.audit(end_time=FAST.duration)
+        assert any(
+            v.invariant == "committed-entry-lost" and v.seq == 40_000
+            for v in violations
+        )
+
+    def test_out_of_order_execution_detected(self):
+        deployment, suite = self._fresh()
+        node = self._observers(deployment)[0]
+        executed = [e for e in suite.executed[node.addr] if e.gid == 0]
+        suite._on_executed(node, executed[0])  # replay of an old entry
+        assert any(
+            v.invariant == "monotonic-subchain-execution"
+            for v in suite.violations
+        )
+
+    def test_crashed_and_byzantine_observers_excluded(self):
+        deployment, suite = self._fresh()
+        victim = self._observers(deployment)[-1]
+        seq = victim.ledger.subchains[0].height + 1
+        victim.ledger.append(LogEntry(gid=0, seq=seq, payload=b"junk"))
+        victim.byzantine = True  # corrupt ledger belongs to a corrupt node
+        violations = suite.audit(end_time=FAST.duration)
+        assert not [v for v in violations if v.invariant == "agreement-no-fork"]

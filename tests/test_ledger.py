@@ -270,3 +270,29 @@ class TestBlocksAndLedger:
         a.append(self.entry(0, 2))
         b.append(self.entry(0, 1))
         assert a.matches(b)  # b is a prefix of a
+
+    def test_divergence_pinpoints_first_forked_height(self):
+        a, b = GlobalLedger(2), GlobalLedger(2)
+        for gid, seq in [(0, 1), (1, 1), (0, 2)]:
+            a.append(self.entry(gid, seq))
+            b.append(self.entry(gid, seq))
+        a.append(self.entry(0, 3))
+        b.append(self.entry(1, 2))  # fork at height 3
+        a.append(self.entry(1, 2))
+        b.append(self.entry(0, 3))
+        assert a.divergence(b) == 3
+        assert b.divergence(a) == 3
+
+    def test_divergence_none_for_matching_prefix(self):
+        a, b = GlobalLedger(1), GlobalLedger(1)
+        a.append(self.entry(0, 1))
+        a.append(self.entry(0, 2))
+        b.append(self.entry(0, 1))
+        assert a.divergence(b) is None  # prefix, not a fork
+        assert GlobalLedger(1).divergence(GlobalLedger(1)) is None
+
+    def test_divergence_at_genesis(self):
+        a, b = GlobalLedger(2), GlobalLedger(2)
+        a.append(self.entry(0, 1))
+        b.append(self.entry(1, 1))
+        assert a.divergence(b) == 0
