@@ -112,6 +112,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay a recorded trace instead of sweeping; exit 0 iff "
         "the violation reproduces identically",
     )
+
+    perf = sub.add_parser(
+        "perf",
+        help="time the hot-path kernels and one end-to-end point; "
+        "regression-check against a committed baseline",
+    )
+    perf.add_argument(
+        "--quick", action="store_true", help="CI smoke preset (seconds, not minutes)"
+    )
+    perf.add_argument(
+        "--output", default="BENCH_perf.json", help="report file to write"
+    )
+    perf.add_argument(
+        "--baseline",
+        default="benchmarks/perf_baseline.json",
+        help="baseline report to compare against",
+    )
+    perf.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="overwrite the baseline with this run instead of comparing",
+    )
+    perf.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional end-to-end slowdown before failing "
+        "(default 0.30)",
+    )
+    perf.add_argument(
+        "--no-end-to-end",
+        action="store_true",
+        help="kernels only (skips the deployment run and the gate)",
+    )
     return parser
 
 
@@ -233,6 +267,52 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 1 if violating else 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    # Imported lazily: the harness pulls in the whole runtime and is only
+    # needed by this subcommand.
+    import json
+
+    from repro.perf import (
+        BenchConfig,
+        compare_to_baseline,
+        run_perf,
+        write_report,
+    )
+    from repro.perf.harness import DEFAULT_TOLERANCE
+
+    config = BenchConfig.quick_preset() if args.quick else BenchConfig()
+    report = run_perf(config, log=print, end_to_end=not args.no_end_to_end)
+    output = Path(args.output)
+    write_report(report, output)
+    print(f"wrote {output}")
+
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        write_report(report, baseline_path)
+        print(f"updated baseline {baseline_path}")
+        return 0
+    if args.no_end_to_end:
+        return 0
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; run with --update-baseline")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    tolerance = (
+        args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    )
+    verdict = compare_to_baseline(report, baseline, tolerance)
+    ratio = verdict.get("end_to_end_ratio")
+    if ratio is not None:
+        print(
+            f"end-to-end vs baseline: {ratio:.2f}x (normalized; "
+            f"floor {1.0 - tolerance:.2f}x) -> "
+            f"{'ok' if verdict['ok'] else 'REGRESSION'}"
+        )
+    else:
+        print(f"baseline comparison skipped: {verdict['reason']}")
+    return 0 if verdict["ok"] else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -240,6 +320,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "check": cmd_check,
+        "perf": cmd_perf,
     }
     return handlers[args.command](args)
 

@@ -59,17 +59,10 @@ class QuorumCertificate:
 
         If ``allowed_signers`` is non-empty, every signer must belong to it
         (e.g. the membership of the group that ran the PBFT instance).
+        Delegates to :meth:`KeyStore.verify_batch`, which converts the
+        statement once and memoizes individual signature verdicts.
         """
-        allowed = set(allowed_signers)
-        seen = set()
-        valid = 0
-        for identity, signature in self.signatures:
-            if identity in seen:
-                continue
-            if allowed and identity not in allowed:
-                return False
-            if not keystore.verify_from(identity, self.statement, signature):
-                return False
-            seen.add(identity)
-            valid += 1
-        return valid >= quorum
+        valid = keystore.verify_batch(
+            self.statement, self.signatures, allowed_signers
+        )
+        return valid is not None and valid >= quorum

@@ -9,10 +9,23 @@ against registered identities.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable as HashableKey, Optional
+from typing import (
+    Dict,
+    Hashable as HashableKey,
+    Iterable,
+    Optional,
+    Tuple,
+)
 
-from repro.crypto.hashing import Hashable
+from repro.crypto.hashing import Hashable, _as_bytes
 from repro.crypto.signatures import KeyPair, Signature, sign, verify
+
+#: Entries kept in the verification memo before it is dropped wholesale.
+#: PBFT re-checks the same (signer, statement, mac) triple on every
+#: receiving replica and again during certificate audits, so hits vastly
+#: outnumber misses; a flush-at-limit bound keeps adversarial traffic
+#: from growing the memo without bound.
+_VERIFY_CACHE_LIMIT = 1 << 16
 
 
 class KeyStore:
@@ -26,6 +39,7 @@ class KeyStore:
         self.seed = seed
         self._keys: Dict[HashableKey, KeyPair] = {}
         self._by_public: Dict[bytes, HashableKey] = {}
+        self._verify_cache: Dict[Tuple[bytes, bytes, bytes], bool] = {}
 
     def register(self, identity: HashableKey) -> KeyPair:
         """Create (or return the existing) key pair for ``identity``."""
@@ -56,11 +70,54 @@ class KeyStore:
     def verify_from(
         self, identity: HashableKey, message: Hashable, signature: Signature
     ) -> bool:
-        """Verify that ``signature`` is ``identity``'s signature over ``message``."""
+        """Verify that ``signature`` is ``identity``'s signature over ``message``.
+
+        Results are memoized by (public key, message, mac): a signature is
+        immutable, so its verdict never changes, and the same prepare or
+        commit signature is re-checked by every receiving replica and
+        again whenever its certificate is audited.
+        """
         keypair = self._keys.get(identity)
         if keypair is None:
             return False
-        return verify(keypair, message, signature)
+        cache = self._verify_cache
+        key = (keypair.public, _as_bytes(message), signature.mac)
+        verdict = cache.get(key)
+        if verdict is None:
+            verdict = verify(keypair, message, signature)
+            if len(cache) >= _VERIFY_CACHE_LIMIT:
+                cache.clear()
+            cache[key] = verdict
+        return verdict
+
+    def verify_batch(
+        self,
+        statement: Hashable,
+        signatures: Iterable[Tuple[HashableKey, Signature]],
+        allowed_signers: Iterable[HashableKey] = (),
+    ) -> Optional[int]:
+        """Verify many signatures over one common ``statement``.
+
+        Returns the number of *distinct* valid signers, or ``None`` as
+        soon as any signature fails to verify or (when
+        ``allowed_signers`` is non-empty) comes from an outsider. The
+        statement is converted to bytes once and every check runs through
+        the verification memo, which is what makes quorum-certificate
+        audits (2f+1 signatures over one statement, re-audited at every
+        group) cheap.
+        """
+        message = _as_bytes(statement)
+        allowed = set(allowed_signers)
+        seen = set()
+        for identity, signature in signatures:
+            if identity in seen:
+                continue
+            if allowed and identity not in allowed:
+                return None
+            if not self.verify_from(identity, message, signature):
+                return None
+            seen.add(identity)
+        return len(seen)
 
     def verify_any(self, message: Hashable, signature: Signature) -> Optional[HashableKey]:
         """Verify a signature and return the signer identity, or None."""

@@ -37,6 +37,23 @@ SIGNATURE_SIZE = 64
 #: Bytes a public key occupies on the wire (matches ED25519).
 PUBLIC_KEY_SIZE = 32
 
+#: Keyed-HMAC prototypes, one per secret. Initialising an HMAC runs the
+#: key schedule (two SHA-256 blocks); for the short statements PBFT signs
+#: that is most of the work. ``copy()`` of a prototype skips it. Keys are
+#: node secrets, so the cache is bounded by deployment size.
+_HMAC_PROTO: dict = {}
+
+
+def _mac(secret: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256 via a per-secret keyed prototype."""
+    proto = _HMAC_PROTO.get(secret)
+    if proto is None:
+        proto = hmac.new(secret, b"", hashlib.sha256)
+        _HMAC_PROTO[secret] = proto
+    mac = proto.copy()
+    mac.update(message)
+    return mac.digest()
+
 
 @dataclass(frozen=True)
 class Signature:
@@ -67,8 +84,9 @@ class KeyPair:
 
 def sign(keypair: KeyPair, message: Hashable) -> Signature:
     """Sign ``message`` with ``keypair``."""
-    mac = hmac.new(keypair.secret, _as_bytes(message), hashlib.sha256).digest()
-    return Signature(signer=keypair.public, mac=mac)
+    return Signature(
+        signer=keypair.public, mac=_mac(keypair.secret, _as_bytes(message))
+    )
 
 
 def verify(keypair: KeyPair, message: Hashable, signature: Signature) -> bool:
@@ -80,5 +98,5 @@ def verify(keypair: KeyPair, message: Hashable, signature: Signature) -> bool:
     """
     if signature.signer != keypair.public:
         return False
-    expected = hmac.new(keypair.secret, _as_bytes(message), hashlib.sha256).digest()
+    expected = _mac(keypair.secret, _as_bytes(message))
     return hmac.compare_digest(expected, signature.mac)

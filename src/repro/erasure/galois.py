@@ -8,8 +8,6 @@ Multiplication and division run through precomputed log/antilog tables.
 
 from __future__ import annotations
 
-from typing import List
-
 _PRIMITIVE_POLY = 0x11D
 _FIELD_SIZE = 256
 _GENERATOR = 2
@@ -79,29 +77,48 @@ class GF256:
 
     @staticmethod
     def mul_row(coefficient: int, data: bytes) -> bytes:
-        """Multiply every byte of ``data`` by ``coefficient``."""
+        """Multiply every byte of ``data`` by ``coefficient``.
+
+        Runs as a single C-level ``bytes.translate`` through the
+        coefficient's 256-byte translation table instead of a Python
+        loop — the per-row kernel of Reed-Solomon coding.
+        """
         if coefficient == 0:
             return bytes(len(data))
         if coefficient == 1:
             return bytes(data)
-        table = GF256.mul_table(coefficient)
-        return bytes(table[b] for b in data)
+        return data.translate(GF256.mul_table(coefficient))
 
     @staticmethod
-    def mul_table(coefficient: int) -> List[int]:
-        """The 256-entry multiplication table for a fixed coefficient."""
+    def mul_table(coefficient: int) -> bytes:
+        """The multiplication table for a fixed coefficient.
+
+        Returned as an immutable 256-``bytes`` translation table:
+        ``table[v] == mul(coefficient, v)``, directly usable by
+        ``bytes.translate`` and shared safely from the cache.
+        """
         table = _MUL_TABLE_CACHE.get(coefficient)
         if table is None:
-            table = [GF256.mul(coefficient, value) for value in range(_FIELD_SIZE)]
+            table = bytes(
+                GF256.mul(coefficient, value) for value in range(_FIELD_SIZE)
+            )
             _MUL_TABLE_CACHE[coefficient] = table
         return table
 
     @staticmethod
     def xor_rows(a: bytes, b: bytes) -> bytes:
-        """Byte-wise XOR of two equal-length rows."""
-        if len(a) != len(b):
-            raise ValueError(f"row length mismatch: {len(a)} != {len(b)}")
-        return bytes(x ^ y for x, y in zip(a, b))
+        """Byte-wise XOR of two equal-length rows.
+
+        Widens both rows to arbitrary-precision ints, XORs once in C, and
+        converts back — far faster than a per-byte Python loop for the
+        multi-KB rows the codec works on.
+        """
+        length = len(a)
+        if length != len(b):
+            raise ValueError(f"row length mismatch: {length} != {len(b)}")
+        return (
+            int.from_bytes(a, "big") ^ int.from_bytes(b, "big")
+        ).to_bytes(length, "big")
 
 
 _MUL_TABLE_CACHE: dict = {}

@@ -23,7 +23,7 @@ TX_ENVELOPE_SIZE = 16 + SIGNATURE_SIZE
 _tx_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Transaction:
     """One client transaction flowing through consensus.
 
@@ -31,6 +31,11 @@ class Transaction:
     ``params`` are the workload-specific arguments the execution logic
     consumes. ``created_at`` stamps client submission time (simulated
     seconds) for end-to-end latency measurement.
+
+    The serialized form and wire size are memoized: both are pure
+    functions of the immutable identity fields (``retries`` is the only
+    field mutated after creation and neither depends on it), and entry
+    building / Merkle hashing / size accounting all re-request them.
     """
 
     kind: str
@@ -41,20 +46,31 @@ class Transaction:
     created_at: float = 0.0
     tx_id: int = field(default_factory=lambda: next(_tx_ids))
     retries: int = 0
+    _size: int = field(default=0, init=False, repr=False, compare=False)
+    _ser: bytes = field(default=b"", init=False, repr=False, compare=False)
 
     @property
     def size_bytes(self) -> int:
         """Serialized wire size."""
+        size = self._size
+        if size:
+            return size
         if self.payload_bytes:
-            return TX_ENVELOPE_SIZE + self.payload_bytes
-        key_bytes = sum(len(k) for k in self.read_keys + self.write_keys)
-        param_bytes = sum(
-            len(str(k)) + len(str(v)) for k, v in self.params.items()
-        )
-        return TX_ENVELOPE_SIZE + len(self.kind) + key_bytes + param_bytes
+            size = TX_ENVELOPE_SIZE + self.payload_bytes
+        else:
+            key_bytes = sum(len(k) for k in self.read_keys + self.write_keys)
+            param_bytes = sum(
+                len(str(k)) + len(str(v)) for k, v in self.params.items()
+            )
+            size = TX_ENVELOPE_SIZE + len(self.kind) + key_bytes + param_bytes
+        self._size = size
+        return size
 
     def serialize(self) -> bytes:
         """Deterministic byte encoding (entry payloads are built from this)."""
+        body = self._ser
+        if body:
+            return body
         parts = [
             self.kind,
             str(self.tx_id),
@@ -69,6 +85,7 @@ class Transaction:
         target = self.size_bytes
         if len(body) < target:
             body = body + b"\x00" * (target - len(body))
+        self._ser = body
         return body
 
     def __repr__(self) -> str:

@@ -1,0 +1,251 @@
+"""Timing harness and report/baseline logic for ``repro perf``.
+
+Report format (``BENCH_perf.json``)::
+
+    {
+      "schema": "repro-perf/1",
+      "quick": false,
+      "numpy": true,
+      "kernels": {"erasure.encode": {"ops_per_sec": ..., "unit": "ops",
+                                     "units_per_sec": ...}, ...},
+      "end_to_end": {"sim_seconds_per_wall_second": ...,
+                     "wall_seconds": ..., "sim_seconds": ...,
+                     "committed": ..., "throughput_tps": ...},
+      "normalized_end_to_end": ...
+    }
+
+``normalized_end_to_end`` divides the end-to-end rate by the
+``calibration.spin`` kernel rate so a baseline recorded on one machine
+remains comparable on another: both numerator and denominator scale with
+single-core speed. Regression checking compares *normalized* values with
+a tolerance band (default 30%, the CI gate).
+
+Timing method: best-of-``repeats`` over batches of ``number`` calls with
+the cyclic GC paused — the minimum is the least-noise estimate of the
+true cost, and matches how the simulator itself runs (GC paused, see
+``GeoDeployment.run``).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.perf.kernels import build_gather_kernels, build_kernels
+
+SCHEMA = "repro-perf/1"
+
+#: Fail the regression check when the normalized end-to-end rate drops
+#: more than this fraction below the baseline (the CI perf-smoke gate).
+DEFAULT_TOLERANCE = 0.30
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Knobs for one harness run; ``quick()`` is the CI smoke preset."""
+
+    #: Target seconds of measurement per kernel (split across repeats).
+    kernel_seconds: float = 0.4
+    repeats: int = 5
+    #: Simulated seconds for the end-to-end point (fig08 nationwide).
+    e2e_duration: float = 2.0
+    e2e_warmup: float = 0.5
+    #: Timed end-to-end runs (best-of); one extra untimed warmup run
+    #: precedes them unless 0.
+    e2e_runs: int = 2
+    e2e_warmup_runs: int = 1
+    quick: bool = False
+
+    @staticmethod
+    def quick_preset() -> "BenchConfig":
+        return BenchConfig(
+            kernel_seconds=0.1,
+            repeats=3,
+            e2e_duration=0.8,
+            e2e_warmup=0.2,
+            e2e_runs=1,
+            e2e_warmup_runs=0,
+            quick=True,
+        )
+
+
+def measure_ops_per_sec(
+    fn: Callable[[], object], target_seconds: float, repeats: int
+) -> float:
+    """Best-observed calls/second for ``fn``.
+
+    Calibrates a batch size so one batch takes roughly
+    ``target_seconds / repeats``, then times ``repeats`` batches and
+    keeps the fastest (minimum is the standard low-noise estimator).
+    """
+    perf_counter = time.perf_counter
+    # Calibrate: grow the batch until it is long enough to time reliably.
+    number = 1
+    while True:
+        start = perf_counter()
+        for _ in range(number):
+            fn()
+        elapsed = perf_counter() - start
+        if elapsed >= max(1e-3, target_seconds / (repeats * 4)):
+            break
+        number *= 4
+    best = elapsed
+    for _ in range(max(0, repeats - 1)):
+        start = perf_counter()
+        for _ in range(number):
+            fn()
+        elapsed = perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return number / best
+
+
+def _run_kernels(
+    kernels, config: BenchConfig, log: Optional[Callable[[str], None]]
+) -> Dict[str, Dict[str, float]]:
+    results: Dict[str, Dict[str, float]] = {}
+    for kernel in kernels:
+        ops = measure_ops_per_sec(
+            kernel.fn, config.kernel_seconds, config.repeats
+        )
+        results[kernel.name] = {
+            "ops_per_sec": ops,
+            "units_per_sec": ops * kernel.units_per_op,
+            "unit": kernel.unit,
+        }
+        if log:
+            log(
+                f"  {kernel.name:<28} {ops * kernel.units_per_op:14,.0f} "
+                f"{kernel.unit}/s"
+            )
+    return results
+
+
+def _run_end_to_end(
+    config: BenchConfig, log: Optional[Callable[[str], None]]
+) -> Dict[str, float]:
+    """Time the fig08 nationwide MassBFT YCSB-A point, best-of-N."""
+    from repro.protocols import GeoDeployment, protocol_by_name
+    from repro.topology import nationwide_cluster
+    from repro.workloads import make_workload
+
+    def one_run():
+        deployment = GeoDeployment(
+            nationwide_cluster(nodes_per_group=7),
+            protocol_by_name("massbft"),
+            make_workload("ycsb-a"),
+            offered_load=30_000.0,
+            seed=0,
+        )
+        start = time.perf_counter()
+        metrics = deployment.run(
+            duration=config.e2e_duration, warmup=config.e2e_warmup
+        )
+        return time.perf_counter() - start, metrics
+
+    for _ in range(config.e2e_warmup_runs):
+        one_run()
+    best_wall = None
+    metrics = None
+    for _ in range(max(1, config.e2e_runs)):
+        wall, metrics = one_run()
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    result = {
+        "sim_seconds_per_wall_second": config.e2e_duration / best_wall,
+        "wall_seconds": best_wall,
+        "sim_seconds": config.e2e_duration,
+        "committed": float(metrics.committed),
+        "throughput_tps": metrics.throughput,
+    }
+    if log:
+        log(
+            f"  end_to_end (fig08 point)     {result['sim_seconds_per_wall_second']:8.2f} "
+            f"sim-s/wall-s  ({best_wall:.3f}s wall, "
+            f"{metrics.committed} committed)"
+        )
+    return result
+
+
+def run_perf(
+    config: Optional[BenchConfig] = None,
+    log: Optional[Callable[[str], None]] = None,
+    end_to_end: bool = True,
+) -> Dict[str, object]:
+    """Run the full suite and return the report dict."""
+    from repro.erasure import reed_solomon
+
+    config = config or BenchConfig()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        if log:
+            log("kernels:")
+        kernels = _run_kernels(build_kernels(), config, log)
+        kernels.update(_run_kernels(build_gather_kernels(), config, log))
+        report: Dict[str, object] = {
+            "schema": SCHEMA,
+            "quick": config.quick,
+            "numpy": reed_solomon._np is not None,
+            "kernels": kernels,
+        }
+        if end_to_end:
+            if log:
+                log("end-to-end:")
+            e2e = _run_end_to_end(config, log)
+            report["end_to_end"] = e2e
+            report["normalized_end_to_end"] = (
+                e2e["sim_seconds_per_wall_second"]
+                / kernels["calibration.spin"]["ops_per_sec"]
+            )
+        return report
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def write_report(report: Dict[str, object], path: Path) -> None:
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def compare_to_baseline(
+    report: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Dict[str, object]:
+    """Regression verdict of ``report`` against ``baseline``.
+
+    Only the machine-speed-normalized end-to-end rate gates (kernel
+    rates are reported as ratios for context but do not fail the check —
+    individual microbenchmarks are too noisy across runners to gate CI).
+    """
+    verdict: Dict[str, object] = {"tolerance": tolerance}
+    kernel_ratios: Dict[str, float] = {}
+    base_kernels = baseline.get("kernels", {})
+    for name, result in report.get("kernels", {}).items():
+        base = base_kernels.get(name)
+        if base and base.get("ops_per_sec"):
+            kernel_ratios[name] = result["ops_per_sec"] / base["ops_per_sec"]
+    verdict["kernel_ratios"] = kernel_ratios
+
+    current = report.get("normalized_end_to_end")
+    reference = baseline.get("normalized_end_to_end")
+    if current is None or not reference:
+        verdict["end_to_end_ratio"] = None
+        verdict["ok"] = True
+        verdict["reason"] = "no end-to-end comparison available"
+        return verdict
+    ratio = current / reference
+    verdict["end_to_end_ratio"] = ratio
+    verdict["ok"] = ratio >= 1.0 - tolerance
+    verdict["reason"] = (
+        "within tolerance"
+        if verdict["ok"]
+        else f"end-to-end regressed to {ratio:.2f}x of baseline "
+        f"(floor {1.0 - tolerance:.2f}x)"
+    )
+    return verdict

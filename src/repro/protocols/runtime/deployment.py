@@ -21,6 +21,7 @@ Stages communicate through the typed event bus
 
 from __future__ import annotations
 
+import gc
 from typing import Dict, List, Optional
 
 from repro.bench.metrics import RunMetrics
@@ -275,12 +276,27 @@ class GeoDeployment:
 
         ``warmup`` seconds at the start are excluded from all metrics
         (traffic counters are reset at the warmup boundary too).
+
+        The cyclic garbage collector is paused for the duration of the
+        event loop: a saturated run allocates hundreds of thousands of
+        short-lived acyclic objects (transactions, messages, events,
+        heap tuples) that reference counting reclaims immediately, so
+        collector passes only rescan the live graph — about a quarter of
+        wall-clock time on the fig08 point. Cyclic stragglers (e.g. the
+        Timer/Event loop) are picked up once collection resumes.
         """
         if warmup >= duration:
             raise ValueError("warmup must be shorter than the run")
         self.metrics.warmup = warmup
         if warmup > 0:
             self.sim.schedule_at(warmup, self.network.reset_traffic_accounting)
-        self.sim.run(until=duration)
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self.sim.run(until=duration)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         self.metrics.end_time = duration
         return self.metrics

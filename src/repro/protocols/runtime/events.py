@@ -187,8 +187,7 @@ class MetricsBridge:
 
     def _on_executed(self, event: EntryExecuted) -> None:
         self.metrics.stamp(event.entry_id, "executed", event.at)
-        for created_at in event.commit_times:
-            self.metrics.record_commit(created_at, event.at, event.gid)
+        self.metrics.record_commits(event.commit_times, event.at, event.gid)
         self.metrics.record_aborts(event.aborted, event.at)
 
 

@@ -49,6 +49,7 @@ class ClientLoad:
         self.queue_seconds = queue_seconds
         self._next_arrival = 0.0
         self.dropped = 0
+        self._gen = None
 
     def take(self, now: float, max_n: Optional[int] = None) -> List[Transaction]:
         """Materialise the transactions that arrived by ``now``."""
@@ -59,13 +60,24 @@ class ClientLoad:
             if missed > 0:
                 self.dropped += missed
                 self._next_arrival += missed / self.rate
+        # Saturated-load hot loop (one iteration per offered transaction):
+        # everything is bound to locals and the arrival clock accumulates
+        # in a local with the same sequence of float additions as before.
         txns: List[Transaction] = []
+        append = txns.append
+        gen = self._gen
+        if gen is None:
+            gen = self._gen = self.workload.generator_for(self.rng)
         step = 1.0 / self.rate
-        while self._next_arrival <= now:
-            if max_n is not None and len(txns) >= max_n:
+        next_arrival = self._next_arrival
+        n = 0
+        while next_arrival <= now:
+            if n == max_n:  # max_n=None never equals an int: no cap
                 break
-            txns.append(self.workload.generate(self.rng, now=self._next_arrival))
-            self._next_arrival += step
+            append(gen(next_arrival))
+            n += 1
+            next_arrival += step
+        self._next_arrival = next_arrival
         return txns
 
 

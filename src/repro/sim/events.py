@@ -5,12 +5,17 @@ totally ordered by ``(time, seq)`` where ``seq`` is a monotonically
 increasing tie-breaker, so two events scheduled for the same instant fire
 in scheduling order. This determinism matters: every experiment in the
 benchmark suite must be exactly reproducible from its seed.
+
+The queue's heap holds ``(time, seq, event)`` triples rather than bare
+events: heap sift comparisons then run entirely on C-level float/int
+tuple ordering and never call back into Python. On the saturated-load
+benchmarks this is one of the two dominant event-loop costs (the other
+being the peek/pop double traversal, removed by :meth:`EventQueue.pop_until`).
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional, Tuple
 
 
@@ -63,9 +68,11 @@ class EventQueue:
     deterministic FIFO tie-breaking.
     """
 
+    __slots__ = ("_heap", "_seq")
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._seq = itertools.count()
+        self._heap: list[Tuple[float, int, Event]] = []
+        self._seq = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -79,24 +86,65 @@ class EventQueue:
         """Schedule ``callback(*args)`` at absolute ``time`` and return the event."""
         if time < 0:
             raise ValueError(f"cannot schedule event at negative time {time}")
-        event = Event(time, next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, args)
+        heappush(self._heap, (time, seq, event))
+        return event
+
+    def repush(self, time: float, event: Event) -> Event:
+        """Re-arm an already-fired event at a new ``time`` and return it.
+
+        Only valid for events no longer in the heap (i.e. just popped and
+        fired) — reusing a still-pending event would leave a stale heap
+        entry aliased to the re-armed one. Repeating timers use this to
+        avoid allocating a fresh :class:`Event` per tick.
+        """
+        if time < 0:
+            raise ValueError(f"cannot schedule event at negative time {time}")
+        seq = self._seq
+        self._seq = seq + 1
+        event.time = time
+        event.seq = seq
+        event.cancelled = False
+        heappush(self._heap, (time, seq, event))
         return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest non-cancelled event, or None if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heappop(heap)[2]
             if not event.cancelled:
                 return event
         return None
 
+    def pop_until(self, until: Optional[float]) -> Optional[Event]:
+        """One-pass peek+pop: the earliest live event with ``time <= until``.
+
+        Cancelled heads are discarded on the way; a live head beyond
+        ``until`` is left in place and None is returned. This merges the
+        ``peek_time`` / ``pop`` double heap traversal of the simulator's
+        hot loop into a single one.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[2].cancelled:
+                heappop(heap)
+                continue
+            if until is not None and head[0] > until:
+                return None
+            return heappop(heap)[2]
+        return None
+
     def peek_time(self) -> Optional[float]:
         """Return the time of the earliest pending event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if self._heap:
-            return self._heap[0].time
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heappop(heap)
+        if heap:
+            return heap[0][0]
         return None
 
     def clear(self) -> None:

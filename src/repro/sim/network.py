@@ -22,8 +22,7 @@ partitions, and per-node crash/bandwidth overrides (Fig 14, Fig 15).
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.sim.core import Simulator
@@ -40,16 +39,27 @@ DEFAULT_LAN_LATENCY = 0.00025
 
 @dataclass(frozen=True, order=True)
 class NodeAddress:
-    """Identifies node ``N_{group,index}`` in the deployment."""
+    """Identifies node ``N_{group,index}`` in the deployment.
+
+    Addresses key nearly every per-message dict in the simulator, so the
+    hash is computed once at construction instead of per lookup.
+    """
 
     group: int
     index: int
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.group, self.index)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __repr__(self) -> str:
         return f"N{self.group}.{self.index}"
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A message in flight.
 
@@ -155,9 +165,10 @@ class Network:
         #: contended resource (set True to serialize the receive NIC too).
         self.limit_downstream = limit_downstream
         self._rng = (rng or RngRegistry()).stream("network")
-        self._msg_ids = itertools.count(1)
+        self._next_msg_id = 1
 
         self._handlers: Dict[NodeAddress, Callable[[Message], None]] = {}
+        self._group_cache: Dict[int, List[NodeAddress]] = {}
         self._lan_up: Dict[NodeAddress, ResourceQueue] = {}
         self._wan_up: Dict[NodeAddress, ResourceQueue] = {}
         self._wan_ctl: Dict[NodeAddress, ResourceQueue] = {}
@@ -185,6 +196,7 @@ class Network:
             raise ValueError(f"node {addr} already registered")
         wan = wan_bandwidth if wan_bandwidth is not None else self.default_wan_bandwidth
         self._handlers[addr] = handler
+        self._group_cache.pop(addr.group, None)
         self._lan_up[addr] = ResourceQueue(f"{addr}.lan_up", self.lan_bandwidth)
         self._wan_up[addr] = ResourceQueue(f"{addr}.wan_up", wan)
         # Priority lane for small control messages (consensus votes,
@@ -208,7 +220,16 @@ class Network:
         return sorted(self._handlers)
 
     def group_members(self, group: int) -> List[NodeAddress]:
-        return sorted(a for a in self._handlers if a.group == group)
+        return list(self._members(group))
+
+    def _members(self, group: int) -> List[NodeAddress]:
+        """Cached sorted member list; membership only changes on register()."""
+        members = self._group_cache.get(group)
+        if members is None:
+            members = self._group_cache[group] = sorted(
+                a for a in self._handlers if a.group == group
+            )
+        return members
 
     def _require_registered(self, addr: NodeAddress) -> None:
         if addr not in self._handlers:
@@ -277,15 +298,20 @@ class Network:
         submission time (crashed sender). Losses on the wire still consume
         sender bandwidth, as in reality.
         """
-        self._require_registered(src)
-        self._require_registered(dst)
+        handlers = self._handlers
+        if src not in handlers:
+            raise KeyError(f"node {src} is not registered")
+        if dst not in handlers:
+            raise KeyError(f"node {dst} is not registered")
         if size_bytes < 0:
             raise ValueError("message size must be non-negative")
         if src in self._crashed:
             return None
 
         now = self.sim.now
-        msg = Message(src, dst, payload, size_bytes, next(self._msg_ids), now)
+        msg_id = self._next_msg_id
+        self._next_msg_id = msg_id + 1
+        msg = Message(src, dst, payload, size_bytes, msg_id, now)
         bits = size_bytes * 8
 
         if src.group == dst.group:
@@ -327,13 +353,62 @@ class Network:
         size_bytes: int,
         include_self: bool = False,
     ) -> int:
-        """Send ``payload`` to every member of ``group``; returns fan-out."""
+        """Send ``payload`` to every member of ``group``; returns fan-out.
+
+        Intra-group broadcasts take a fast path that hoists the per-message
+        queue/quality/latency lookups out of the loop: a LAN broadcast is one
+        NIC serialization burst, not N independent ``send`` submissions. The
+        per-destination ``ResourceQueue.acquire`` calls (and any loss/jitter
+        RNG draws) still happen in the exact same order as N ``send`` calls,
+        so delivery times stay bit-identical.
+        """
+        members = self._members(group)
+        if src.group != group or src not in self._handlers:
+            # Cross-group (or unregistered-sender error path): per-message
+            # routing differs per destination, go through send().
+            count = 0
+            for addr in members:
+                if addr == src and not include_self:
+                    continue
+                self.send(src, addr, payload, size_bytes)
+                count += 1
+            return count
+
+        if size_bytes < 0:
+            raise ValueError("message size must be non-negative")
+        if src in self._crashed:
+            # send() would drop each message at submission; fan-out count
+            # is unchanged by the drop.
+            return len(members) - (0 if include_self else 1)
+
+        now = self.sim.now
+        bits = size_bytes * 8
+        lan_queue = self._lan_up[src]
+        latency = self.lan_latency
+        quality = self.lan_quality
+        loss_p = quality.loss_probability
+        jitter = quality.jitter
+        rng = self._rng
+        schedule_at = self.sim.schedule_at
+        deliver = self._deliver
+        msg_id = self._next_msg_id
         count = 0
-        for addr in self.group_members(group):
+        for addr in members:
             if addr == src and not include_self:
                 continue
-            self.send(src, addr, payload, size_bytes)
             count += 1
+            msg = Message(src, addr, payload, size_bytes, msg_id, now)
+            msg_id += 1
+            _, tx_done = lan_queue.acquire(now, bits)
+            self.lan_bytes_total += size_bytes
+            deliver_at = tx_done + latency
+            if loss_p > 0 and rng.random() < loss_p:
+                self.monitor.counter("network.dropped").add()
+                continue
+            if jitter > 0:
+                deliver_at += rng.random() * jitter
+            schedule_at(deliver_at, deliver, msg)
+        self._next_msg_id = msg_id
         return count
 
     def _deliver(self, msg: Message) -> None:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Dict
+from typing import Callable, Dict
 
 from repro.ledger.execution import AriaExecutor, TxLogic
 from repro.ledger.state import KVStore
@@ -34,6 +34,22 @@ class Workload(abc.ABC):
     @abc.abstractmethod
     def logic(self) -> Dict[str, TxLogic]:
         """Execution functions per transaction kind (for full execution)."""
+
+    def generator_for(
+        self, rng: random.Random
+    ) -> Callable[[float], Transaction]:
+        """A bound single-argument generator: ``gen(now) -> Transaction``.
+
+        The client load loop calls the generator once per offered
+        transaction, so workloads may override this to return a closure
+        with all per-stream state pre-bound. The default simply delegates
+        to :meth:`generate`; overrides MUST draw from ``rng`` in exactly
+        the order ``generate`` does, or seeded runs change.
+        """
+        def gen(now: float) -> Transaction:
+            return self.generate(rng, now=now)
+
+        return gen
 
     def register(self, executor: AriaExecutor) -> None:
         """Attach this workload's execution logic to an executor."""

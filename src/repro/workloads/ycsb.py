@@ -59,6 +59,7 @@ class YcsbWorkload(Workload):
         self.materialize_limit = materialize_limit
         self.name = "ycsb-a" if read_fraction <= 0.5 else "ycsb-b"
         self._zipf: Dict[int, ZipfGenerator] = {}
+        self._fast: Dict[int, tuple] = {}
 
     def _sampler(self, rng: random.Random) -> ZipfGenerator:
         key = id(rng)
@@ -67,6 +68,80 @@ class YcsbWorkload(Workload):
             sampler = ZipfGenerator(self.n_rows, self.theta, rng)
             self._zipf[key] = sampler
         return sampler
+
+    def _fast_methods(self, rng: random.Random) -> tuple:
+        """Per-stream bound methods for :meth:`generate`'s hot loop.
+
+        ``Random.randrange(n)`` validates its arguments and then defers to
+        ``Random._randbelow(n)``; calling ``_randbelow`` directly consumes
+        the exact same ``getrandbits`` draws (identical value stream) at
+        about half the cost. Falls back to ``randrange`` if a custom
+        ``rng`` lacks the internal method.
+        """
+        key = id(rng)
+        fast = self._fast.get(key)
+        if fast is None:
+            sampler = self._sampler(rng)
+            randbelow = getattr(rng, "_randbelow", rng.randrange)
+            fast = (sampler.sample_scrambled, rng.random, randbelow)
+            self._fast[key] = fast
+        return fast
+
+    def generator_for(self, rng: random.Random):
+        """Closure with the whole YCSB draw pipeline pre-bound.
+
+        Inlines the scrambled-zipfian sampler (same float expressions in
+        the same order as :meth:`ZipfGenerator.sample` /
+        :meth:`~ZipfGenerator.sample_scrambled`) and the ``_randbelow``
+        shortcut from :meth:`_fast_methods`, so one offered transaction
+        costs one closure call. Draw order — zipf u, column, read/update
+        coin, update value — matches :meth:`generate` exactly.
+        """
+        sampler = self._sampler(rng)
+        random_draw = rng.random
+        randbelow = getattr(rng, "_randbelow", rng.randrange)
+        n_rows = self.n_rows
+        zetan = sampler.zetan
+        eta = sampler.eta
+        alpha = sampler.alpha
+        rank1_bound = 1.0 + 0.5 ** sampler.theta
+        read_fraction = self.read_fraction
+
+        def gen(now: float) -> Transaction:
+            u = random_draw()
+            uz = u * zetan
+            if uz < 1.0:
+                rank = 0
+            elif uz < rank1_bound:
+                rank = 1
+            else:
+                rank = int(n_rows * (eta * u - eta + 1.0) ** alpha)
+            key = (rank * 0x9E3779B97F4A7C15 + 0x7F4A7C15) % n_rows
+            column = randbelow(N_COLUMNS)
+            storage_key = f"{TABLE}/{key}#field{column}"
+            if random_draw() < read_fraction:
+                return Transaction(
+                    kind="ycsb_read",
+                    read_keys=(storage_key,),
+                    write_keys=(),
+                    params={"key": key, "column": column},
+                    payload_bytes=READ_PAYLOAD,
+                    created_at=now,
+                )
+            return Transaction(
+                kind="ycsb_update",
+                read_keys=(),
+                write_keys=(storage_key,),
+                params={
+                    "key": key,
+                    "column": column,
+                    "value": f"upd:{randbelow(1 << 30)}".ljust(COLUMN_BYTES, "y"),
+                },
+                payload_bytes=UPDATE_PAYLOAD,
+                created_at=now,
+            )
+
+        return gen
 
     def populate(self, store: KVStore) -> None:
         for key in range(min(self.n_rows, self.materialize_limit)):
@@ -86,12 +161,18 @@ class YcsbWorkload(Workload):
         return table_key(TABLE, f"{key}#field{column}")
 
     def generate(self, rng: random.Random, now: float = 0.0) -> Transaction:
-        key = self._sampler(rng).sample_scrambled(self.n_rows)
-        column = rng.randrange(N_COLUMNS)
-        if rng.random() < self.read_fraction:
+        # Saturating-load hot path: the composite key is built inline
+        # (identical string to ``column_key``) and the RNG draw order —
+        # zipf sample, column, read/update coin, update value — is fixed;
+        # reordering any of it would change seeded runs.
+        sample_scrambled, random_draw, randbelow = self._fast_methods(rng)
+        key = sample_scrambled(self.n_rows)
+        column = randbelow(N_COLUMNS)
+        storage_key = f"{TABLE}/{key}#field{column}"
+        if random_draw() < self.read_fraction:
             return Transaction(
                 kind="ycsb_read",
-                read_keys=(self.column_key(key, column),),
+                read_keys=(storage_key,),
                 write_keys=(),
                 params={"key": key, "column": column},
                 payload_bytes=READ_PAYLOAD,
@@ -100,11 +181,11 @@ class YcsbWorkload(Workload):
         return Transaction(
             kind="ycsb_update",
             read_keys=(),
-            write_keys=(self.column_key(key, column),),
+            write_keys=(storage_key,),
             params={
                 "key": key,
                 "column": column,
-                "value": f"upd:{rng.randrange(1 << 30)}".ljust(COLUMN_BYTES, "y"),
+                "value": f"upd:{randbelow(1 << 30)}".ljust(COLUMN_BYTES, "y"),
             },
             payload_bytes=UPDATE_PAYLOAD,
             created_at=now,

@@ -1,0 +1,64 @@
+"""Cross-process determinism of seeded deployment runs.
+
+The perf work (vectorised kernels, event-loop fast path, caches, GC
+gating) is only admissible if seeded runs stay *bit-identical*. This
+test runs the same short fig08-style nationwide point in two fresh
+Python processes and requires the committed count, the per-group
+observer state digests, and the exact number of simulator events
+processed to match — any reordered RNG draw, float expression, or
+eliminated event shows up here.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+
+FINGERPRINT_SCRIPT = f"""
+import json, sys
+sys.path.insert(0, {SRC!r})
+from repro.protocols import GeoDeployment, protocol_by_name
+from repro.topology import nationwide_cluster
+from repro.workloads import make_workload
+
+deployment = GeoDeployment(
+    nationwide_cluster(nodes_per_group=4),
+    protocol_by_name("massbft"),
+    make_workload("ycsb-a"),
+    offered_load=8_000.0,
+    seed=7,
+)
+metrics = deployment.run(duration=0.8, warmup=0.2)
+digests = []
+for gid in range(deployment.n_groups):
+    store = deployment.observer_of(gid).pipeline.store
+    sample = sorted(store._data)[:64]
+    digests.append(store.state_digest(sample=sample).hex())
+print(json.dumps({{
+    "committed": metrics.committed,
+    "events": deployment.sim.events_processed,
+    "digests": digests,
+}}, sort_keys=True))
+"""
+
+
+def _run_once() -> dict:
+    proc = subprocess.run(
+        [sys.executable, "-c", FINGERPRINT_SCRIPT],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def test_seeded_run_is_bit_identical_across_processes():
+    first = _run_once()
+    second = _run_once()
+    assert first["committed"] > 0
+    assert first["events"] > 0
+    assert all(d for d in first["digests"])
+    assert first == second

@@ -263,3 +263,82 @@ class TestSeededErasure:
 
         assert fingerprint(7) == fingerprint(7)
         assert fingerprint(7) != fingerprint(8)
+
+
+class TestKernelsAndDecodeCache:
+    """The optimised row kernels and the inverted-submatrix memo."""
+
+    @staticmethod
+    def _chunks(n, length, seed):
+        rng = random.Random(seed)
+        return [bytes(rng.randrange(256) for _ in range(length)) for _ in range(n)]
+
+    def test_decode_cache_identical_output(self):
+        """Decoding with the submatrix cache equals decoding without it."""
+        cached = ReedSolomonCodec(n_data=4, n_parity=3)
+        uncached = ReedSolomonCodec(n_data=4, n_parity=3)
+        data = self._chunks(4, 257, seed=11)
+        encoded = cached.encode_chunks(data)
+        assert uncached.encode_chunks(data) == encoded
+        survivor_sets = [
+            (1, 2, 4, 5),
+            (0, 3, 5, 6),
+            (3, 4, 5, 6),
+            (1, 2, 4, 5),  # repeat: cache hit
+        ]
+        for survivors in survivor_sets:
+            available = {i: encoded[i] for i in survivors}
+            uncached._decode_cache.clear()  # force a fresh inversion
+            assert cached.decode_chunks(available) == uncached.decode_chunks(
+                available
+            ) == data
+        # The repeated survivor set was served from the memo.
+        assert len(cached._decode_cache) == 3
+
+    def test_decode_cache_bounded(self, monkeypatch):
+        from repro.erasure import reed_solomon
+
+        monkeypatch.setattr(reed_solomon, "_DECODE_CACHE_LIMIT", 2)
+        codec = ReedSolomonCodec(n_data=3, n_parity=3)
+        data = self._chunks(3, 64, seed=5)
+        encoded = codec.encode_chunks(data)
+        for survivors in [(1, 2, 3), (0, 2, 4), (2, 3, 4), (1, 3, 5)]:
+            available = {i: encoded[i] for i in survivors}
+            assert codec.decode_chunks(available) == data
+        assert len(codec._decode_cache) == 2
+
+    def test_gather_kernel_bit_identical(self):
+        """The alternate numpy gather kernel matches the translate kernel."""
+        from repro.erasure import reed_solomon
+
+        if reed_solomon._np is None:
+            pytest.skip("numpy unavailable")
+        rng = random.Random(3)
+        for n_rows, n_cols, length in [(1, 1, 1), (3, 5, 64), (7, 7, 300)]:
+            coeffs = [
+                [rng.randrange(256) for _ in range(n_cols)]
+                for _ in range(n_rows)
+            ]
+            rows = self._chunks(n_cols, length, seed=rng.randrange(1 << 30))
+            assert ReedSolomonCodec._apply_matrix(
+                coeffs, rows, length, use_numpy=True
+            ) == ReedSolomonCodec._apply_matrix(coeffs, rows, length)
+
+    def test_codec_without_numpy(self, monkeypatch):
+        """The codec round-trips identically with numpy masked out."""
+        from repro.erasure import reed_solomon
+
+        data = self._chunks(4, 129, seed=2)
+        with_np = ReedSolomonCodec(n_data=4, n_parity=2)
+        encoded = with_np.encode_chunks(data)
+        monkeypatch.setattr(reed_solomon, "_np", None)
+        without_np = ReedSolomonCodec(n_data=4, n_parity=2)
+        assert without_np.encode_chunks(data) == encoded
+        available = {i: encoded[i] for i in (1, 3, 4, 5)}
+        assert without_np.decode_chunks(available) == data
+
+    def test_mul_table_is_immutable_bytes(self):
+        table = GF256.mul_table(0x53)
+        assert isinstance(table, bytes)
+        assert len(table) == 256
+        assert table[7] == GF256.mul(0x53, 7)
