@@ -42,6 +42,11 @@ class RunMetrics:
         self.batch_sizes = Histogram("batch_size")
         self.dropped_txns = 0
         self.end_time: Optional[float] = None
+        # Admission-gate telemetry: per-group running aggregates of the
+        # QueueDepthsSampled snapshots ([count, wan_sum, wan_max,
+        # cpu_sum, cpu_max]) and ProposalGated stall counts by reason.
+        self.queue_stats: Dict[int, List[float]] = {}
+        self.gated_counts: Dict[int, Dict[str, int]] = {}
 
     # ------------------------------------------------------------------
     # Recording (called by the deployment)
@@ -111,6 +116,30 @@ class RunMetrics:
     def record_batch(self, size: int, mean_wait: float) -> None:
         self.batch_sizes.observe(size)
         self.entry_batch_waits.append(mean_wait)
+
+    def record_queue_sample(
+        self, gid: int, now: float, wan_backlog: float, cpu_backlog: float
+    ) -> None:
+        """One admission-gate queue-depth snapshot (post-warmup only)."""
+        if now < self.warmup:
+            return
+        stats = self.queue_stats.get(gid)
+        if stats is None:
+            stats = self.queue_stats[gid] = [0.0, 0.0, 0.0, 0.0, 0.0]
+        stats[0] += 1
+        stats[1] += wan_backlog
+        if wan_backlog > stats[2]:
+            stats[2] = wan_backlog
+        stats[3] += cpu_backlog
+        if cpu_backlog > stats[4]:
+            stats[4] = cpu_backlog
+
+    def record_gated(self, gid: int, reason: str, now: float) -> None:
+        """One held proposal (post-warmup only)."""
+        if now < self.warmup:
+            return
+        by_reason = self.gated_counts.setdefault(gid, {})
+        by_reason[reason] = by_reason.get(reason, 0) + 1
 
     # ------------------------------------------------------------------
     # Reporting
@@ -193,6 +222,33 @@ class RunMetrics:
         return {
             key: sums[key] / counts[key] for key in sums if counts.get(key)
         }
+
+    def queue_summary(self) -> List[Dict[str, float]]:
+        """Per-group admission-gate summary rows (post-warmup).
+
+        Each row: group id, snapshot count, mean/max WAN and CPU backlog
+        in seconds, total gating stalls, and per-reason stall counts
+        (``gated_wan`` etc. — the reasons of
+        :class:`~repro.protocols.runtime.events.ProposalGated`).
+        """
+        rows: List[Dict[str, float]] = []
+        for gid in sorted(set(self.queue_stats) | set(self.gated_counts)):
+            stats = self.queue_stats.get(gid, [0.0, 0.0, 0.0, 0.0, 0.0])
+            count = stats[0]
+            by_reason = self.gated_counts.get(gid, {})
+            row: Dict[str, float] = {
+                "gid": float(gid),
+                "samples": count,
+                "wan_backlog_mean": stats[1] / count if count else 0.0,
+                "wan_backlog_max": stats[2],
+                "cpu_backlog_mean": stats[3] / count if count else 0.0,
+                "cpu_backlog_max": stats[4],
+                "gated_total": float(sum(by_reason.values())),
+            }
+            for reason, stalls in sorted(by_reason.items()):
+                row[f"gated_{reason}"] = float(stalls)
+            rows.append(row)
+        return rows
 
     def summary(self) -> Dict[str, float]:
         return {

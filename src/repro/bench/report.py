@@ -40,6 +40,42 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_queue_gating(metrics, title: str = "admission gate (post-warmup)") -> str:
+    """Per-group queue depth + gating table from a :class:`RunMetrics`.
+
+    Returns an empty string when the run produced no admission-gate
+    samples (e.g. warmup covered the whole run).
+    """
+    rows = metrics.queue_summary()
+    if not rows:
+        return ""
+    reasons = sorted({
+        key[len("gated_"):]
+        for row in rows
+        for key in row
+        if key.startswith("gated_") and key != "gated_total"
+    })
+    headers = [
+        "group", "samples", "wan_mean_s", "wan_max_s",
+        "cpu_mean_s", "cpu_max_s", "stalls",
+    ] + [f"stalls_{reason}" for reason in reasons]
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [
+                f"g{int(row['gid'])}",
+                int(row["samples"]),
+                row["wan_backlog_mean"],
+                row["wan_backlog_max"],
+                row["cpu_backlog_mean"],
+                row["cpu_backlog_max"],
+                int(row["gated_total"]),
+            ]
+            + [int(row.get(f"gated_{reason}", 0)) for reason in reasons]
+        )
+    return format_table(headers, table_rows, title=title)
+
+
 def format_series(
     name: str,
     xs: Sequence[Any],

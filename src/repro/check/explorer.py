@@ -232,10 +232,21 @@ def explore(
 def _record_trace(
     result: EpisodeResult, config: CheckConfig, trace_dir: Path
 ) -> Path:
-    """Re-run the violating episode with a recorder and write the trace."""
-    holder: Dict[str, EventRecorder] = {}
+    """Re-run the violating episode with a recorder and write the trace.
+
+    Besides the replayable event log, the header carries *span context*:
+    for every violation that names an entry, the full span tree of that
+    entry (batching through execution, per-receiver dissemination) from
+    a :class:`repro.obs.Tracer` attached to the same re-run — so a human
+    reading the trace sees where in the lifecycle the offending entry
+    was when the invariant broke.
+    """
+    from repro.obs import Tracer
+
+    holder: Dict[str, object] = {}
 
     def sink(deployment: GeoDeployment) -> EventRecorder:
+        holder["tracer"] = Tracer.attach(deployment, telemetry_interval=0.0)
         holder["recorder"] = EventRecorder.attach(deployment.bus)
         return holder["recorder"]
 
@@ -252,12 +263,40 @@ def _record_trace(
         "config": config.to_jsonable(),
         "schedule": result.schedule.to_jsonable(),
         "violations": [v.to_jsonable() for v in rerun.violations],
+        "violation_spans": _violation_spans(
+            holder["tracer"].build(), rerun.violations
+        ),
     }
     if result.shrunk is not None:
         header["shrunk_schedule"] = result.shrunk.to_jsonable()
     path = trace_dir / f"{result.protocol.lower()}-seed{result.seed}.jsonl"
     write_trace(path, header, holder["recorder"].records)
     return path
+
+
+def _violation_spans(trace, violations: Sequence[Violation]) -> List[dict]:
+    """Span trees for the entries the violations name (deduplicated)."""
+    from repro.core.entry import EntryId
+
+    spans: List[dict] = []
+    seen: set = set()
+    for violation in violations:
+        if violation.gid < 0 or violation.seq < 0:
+            continue
+        entry_id = EntryId(violation.gid, violation.seq)
+        if entry_id in seen:
+            continue
+        seen.add(entry_id)
+        root = trace.root_for(entry_id)
+        if root is None:
+            continue
+        spans.append(
+            {
+                "entry": f"g{entry_id.gid}:{entry_id.seq}",
+                "spans": [span.to_jsonable() for span in root.walk()],
+            }
+        )
+    return spans
 
 
 def replay_trace(

@@ -18,8 +18,9 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.bench.report import format_table
+from repro.bench.report import format_queue_gating, format_table
 from repro.core.transfer_plan import generate_transfer_plan
+from repro.obs.presets import PRESETS as TRACE_PRESETS
 from repro.protocols import GeoDeployment, protocol_by_name
 from repro.topology import nationwide_cluster, scaled_cluster, worldwide_cluster
 from repro.workloads import make_workload
@@ -146,6 +147,43 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="kernels only (skips the deployment run and the gate)",
     )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one traced deployment; export a Perfetto-loadable "
+        "trace bundle and a critical-path latency report",
+    )
+    trace.add_argument("--protocol", choices=PROTOCOL_CHOICES, default="massbft")
+    trace.add_argument(
+        "--preset",
+        choices=sorted(TRACE_PRESETS),
+        default="nationwide-ycsb-a",
+        help="named operating point (cluster, workload, load, duration)",
+    )
+    trace.add_argument("--out", default="trace-out", help="bundle output directory")
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument(
+        "--nodes", type=int, default=None, help="override nodes per group"
+    )
+    trace.add_argument(
+        "--load", type=float, default=None, help="override offered txns/s per group"
+    )
+    trace.add_argument("--duration", type=float, default=None)
+    trace.add_argument("--warmup", type=float, default=None)
+    trace.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=0.005,
+        help="NIC/consensus sampling period in simulated seconds (0 disables)",
+    )
+    trace.add_argument(
+        "--slowest", type=int, default=5, help="slowest entries to report"
+    )
+    trace.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate the exported bundle against the trace JSON schemas",
+    )
     return parser
 
 
@@ -198,6 +236,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         print("  latency breakdown:")
         for phase, seconds in sorted(metrics.phase_durations().items()):
             print(f"    {phase:<20} {seconds * 1000:7.2f} ms")
+    gate_table = format_queue_gating(metrics)
+    if gate_table:
+        print(gate_table)
     return 0
 
 
@@ -293,6 +334,14 @@ def cmd_perf(args: argparse.Namespace) -> int:
         return 0
     if args.no_end_to_end:
         return 0
+    overhead = report.get("trace_overhead", {})
+    if overhead and not overhead.get("ok", True):
+        print(
+            f"trace overhead gate FAILED: {overhead['ratio']:+.1%} "
+            f"(budget +{overhead['tolerance']:.0%}, committed match: "
+            f"{overhead['committed_match']})"
+        )
+        return 1
     if not baseline_path.exists():
         print(f"no baseline at {baseline_path}; run with --update-baseline")
         return 0
@@ -313,6 +362,94 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0 if verdict["ok"] else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    # Imported lazily: span building and exporters are only needed here.
+    from repro.obs import (
+        analyze,
+        breakdowns_agree,
+        compare_breakdowns,
+        format_report,
+        validate_bundle,
+        write_bundle,
+    )
+
+    preset = TRACE_PRESETS[args.preset]
+    nodes = args.nodes if args.nodes is not None else preset.nodes_per_group
+    if preset.cluster == "worldwide":
+        cluster = worldwide_cluster(nodes_per_group=nodes)
+    else:
+        cluster = nationwide_cluster(nodes_per_group=nodes)
+    load = args.load if args.load is not None else preset.offered_load
+    duration = args.duration if args.duration is not None else preset.duration
+    warmup = args.warmup if args.warmup is not None else preset.warmup
+
+    deployment = GeoDeployment(
+        cluster,
+        protocol_by_name(args.protocol),
+        make_workload(preset.workload),
+        offered_load=load,
+        seed=args.seed,
+    )
+    tracer = deployment.attach_tracer(
+        telemetry_interval=args.telemetry_interval
+    )
+    print(
+        f"tracing {args.protocol} on {preset.name} "
+        f"({preset.cluster} x{nodes}, {preset.workload}, "
+        f"{load:.0f} tx/s/group, {duration}s + {warmup}s warmup, "
+        f"seed {args.seed})"
+    )
+    metrics = deployment.run(duration=duration, warmup=warmup)
+    trace = tracer.build()
+    trace.meta.update(
+        {
+            "protocol": args.protocol,
+            "preset": preset.name,
+            "cluster": preset.cluster,
+            "workload": preset.workload,
+            "nodes_per_group": nodes,
+            "offered_load": load,
+            "duration": duration,
+            "warmup": warmup,
+            "committed": metrics.committed,
+            "throughput_tps": metrics.throughput,
+            "mean_latency_s": metrics.mean_latency,
+        }
+    )
+
+    report = analyze(trace, warmup=warmup, slowest=args.slowest)
+    stamp = metrics.phase_durations()
+    report_text = format_report(report, stamp)
+    paths = write_bundle(trace, args.out, report_text=report_text)
+
+    print(
+        f"  committed {metrics.committed} txns "
+        f"({metrics.throughput / 1000:.2f} ktps), "
+        f"{trace.meta['entries']} entry spans, "
+        f"{trace.meta['message_spans']} message spans, "
+        f"{len(trace.telemetry)} telemetry series"
+    )
+    print()
+    print(report_text)
+    print()
+    for kind in ("trace", "spans", "telemetry", "report"):
+        if kind in paths:
+            print(f"  wrote {paths[kind]}")
+    print("  open trace.json at https://ui.perfetto.dev (or chrome://tracing)")
+
+    if args.validate:
+        counts = validate_bundle(paths["trace"], paths["spans"])
+        print(
+            f"  schema validation ok: {counts['trace_events']} trace events, "
+            f"{counts['spans']} spans"
+        )
+    agreement = compare_breakdowns(report.breakdown, stamp)
+    if not breakdowns_agree(agreement):
+        print("  ERROR: trace-derived breakdown disagrees with stamp-based")
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -321,6 +458,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": cmd_compare,
         "check": cmd_check,
         "perf": cmd_perf,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,78 @@
+"""repro.obs — observability: tracing, telemetry, critical-path analysis.
+
+Layered on the runtime's event bus and the simulator's NIC queues:
+
+* :class:`Tracer` / :class:`Trace` — span trees over simulated time for
+  every entry's lifecycle, message-level NIC spans, fault markers;
+* :class:`TelemetryRegistry` / :class:`NicSampler` — named per-node and
+  per-group time series (queue depth, in-flight bytes, utilization,
+  PBFT view, gating stalls);
+* :mod:`~repro.obs.export` — Chrome trace-event JSON (Perfetto) and
+  byte-deterministic span JSONL;
+* :mod:`~repro.obs.critical_path` — the Fig 11 latency breakdown derived
+  from traces, cross-checked against stamp-based accounting;
+* :mod:`~repro.obs.schema` — bundle schemas + dependency-free validator.
+
+The subsystem is strictly opt-in: nothing here is imported by a normal
+run, and the runtime's hooks (``EventBus.wants``,
+``Network.transmit_hook``) keep the untraced hot path allocation-free.
+"""
+
+from repro.obs.critical_path import (
+    PHASES,
+    CriticalPathReport,
+    analyze,
+    breakdowns_agree,
+    compare_breakdowns,
+    entry_attribution,
+    format_report,
+)
+from repro.obs.export import (
+    chrome_trace_doc,
+    export_chrome_trace,
+    export_span_jsonl,
+    export_telemetry_json,
+    write_bundle,
+)
+from repro.obs.presets import PRESETS, TracePreset
+from repro.obs.schema import (
+    CHROME_TRACE_SCHEMA,
+    SPAN_SCHEMA,
+    SchemaError,
+    validate,
+    validate_bundle,
+    validate_chrome_trace,
+)
+from repro.obs.spans import STAGE_NAMES, Span, flatten
+from repro.obs.telemetry import NicSampler, TelemetryRegistry
+from repro.obs.tracer import Trace, Tracer
+
+__all__ = [
+    "PHASES",
+    "PRESETS",
+    "STAGE_NAMES",
+    "CHROME_TRACE_SCHEMA",
+    "SPAN_SCHEMA",
+    "CriticalPathReport",
+    "NicSampler",
+    "SchemaError",
+    "Span",
+    "Trace",
+    "TracePreset",
+    "TelemetryRegistry",
+    "Tracer",
+    "analyze",
+    "breakdowns_agree",
+    "chrome_trace_doc",
+    "compare_breakdowns",
+    "entry_attribution",
+    "export_chrome_trace",
+    "export_span_jsonl",
+    "export_telemetry_json",
+    "flatten",
+    "format_report",
+    "validate",
+    "validate_bundle",
+    "validate_chrome_trace",
+    "write_bundle",
+]

@@ -1,0 +1,248 @@
+"""Critical-path latency attribution: the Fig 11 breakdown, from traces.
+
+Walks the span forest a :class:`~repro.obs.tracer.Tracer` produced and
+attributes each entry's end-to-end latency to lifecycle phases, using
+the *same* keys, filters and clamping as the stamp-based
+:meth:`repro.bench.metrics.RunMetrics.phase_durations`:
+
+* entries are measured only when batched after warmup *and* executed;
+* ``batching`` is the mean client wait over **all** batched entries
+  (stamp-based accounting does not warmup-filter batch waits);
+* ``global_consensus`` and ``ordering_execution`` are clamped at zero.
+
+Because both sides consume the same bus events, the trace-derived
+breakdown agrees with the stamp-based one to floating-point noise —
+:func:`compare_breakdowns` enforces a 5% relative tolerance and the
+regression tests pin it down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.spans import Span
+
+#: Phase keys, in lifecycle order; identical to ``phase_durations()``.
+PHASES = (
+    "batching",
+    "local_consensus",
+    "global_replication",
+    "global_consensus",
+    "ordering_execution",
+)
+
+#: Stage-span name -> breakdown phase key (dissemination spans measure
+#: the replication phase; batching is handled from root args).
+_STAGE_TO_PHASE = {
+    "local_consensus": "local_consensus",
+    "dissemination": "global_replication",
+    "global_consensus": "global_consensus",
+    "ordering_execution": "ordering_execution",
+}
+
+
+def entry_attribution(root: Span) -> Dict[str, float]:
+    """Per-phase seconds for one entry's root span.
+
+    ``global_replication`` is measured from the end of local consensus to
+    the end of dissemination (last remote arrival), mirroring the
+    ``available_remote - local_committed`` stamp difference even if the
+    dissemination span starts fractionally later.
+    """
+    stages: Dict[str, Span] = {}
+    for child in root.children:
+        if child.name in _STAGE_TO_PHASE:
+            stages[child.name] = child
+    out: Dict[str, float] = {}
+    wait = root.args.get("batch_wait")
+    if wait is not None:
+        out["batching"] = wait
+    local = stages.get("local_consensus")
+    if local is not None:
+        out["local_consensus"] = local.duration
+    diss = stages.get("dissemination")
+    if diss is not None and local is not None:
+        out["global_replication"] = diss.end - local.end
+    cert = stages.get("global_consensus")
+    if cert is not None:
+        out["global_consensus"] = cert.duration
+    exec_span = stages.get("ordering_execution")
+    if exec_span is not None:
+        out["ordering_execution"] = exec_span.duration
+    return out
+
+
+@dataclass
+class CriticalPathReport:
+    """Aggregate attribution over one trace."""
+
+    breakdown: Dict[str, float]
+    entries_total: int
+    entries_measured: int
+    warmup: float
+    end_to_end: float
+    #: phase -> number of measured entries where it dominated latency
+    critical_counts: Dict[str, int] = field(default_factory=dict)
+    #: ``(entry name, total seconds, dominant phase)``, slowest first
+    slowest: List[Tuple[str, float, str]] = field(default_factory=list)
+
+    def to_jsonable(self) -> Dict:
+        return {
+            "breakdown": self.breakdown,
+            "entries_total": self.entries_total,
+            "entries_measured": self.entries_measured,
+            "warmup": self.warmup,
+            "end_to_end": self.end_to_end,
+            "critical_counts": self.critical_counts,
+            "slowest": [list(row) for row in self.slowest],
+        }
+
+
+def analyze(trace, warmup: float = 0.0, slowest: int = 5) -> CriticalPathReport:
+    """Attribute latency across ``trace``'s entry spans."""
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    batch_waits: List[float] = []
+    critical_counts: Dict[str, int] = {}
+    measured: List[Tuple[str, float, str]] = []
+
+    for root in trace.entry_roots:
+        wait = root.args.get("batch_wait")
+        if wait is not None:
+            batch_waits.append(wait)
+        batching = None
+        for child in root.children:
+            if child.name == "batching":
+                batching = child
+                break
+        batched_at = batching.end if batching is not None else root.start
+        if batched_at < warmup or not root.args.get("complete"):
+            continue
+        attr = entry_attribution(root)
+        for phase, value in attr.items():
+            if phase == "batching":
+                continue  # aggregated over all entries below
+            sums[phase] = sums.get(phase, 0.0) + value
+            counts[phase] = counts.get(phase, 0) + 1
+        if attr:
+            dominant = max(attr, key=lambda k: (attr[k], k))
+            critical_counts[dominant] = critical_counts.get(dominant, 0) + 1
+            measured.append((root.name, sum(attr.values()), dominant))
+
+    breakdown = {
+        phase: sums[phase] / counts[phase]
+        for phase in sums
+        if counts.get(phase)
+    }
+    if batch_waits:
+        breakdown["batching"] = sum(batch_waits) / len(batch_waits)
+    end_to_end = (
+        sum(total for _, total, _ in measured) / len(measured)
+        if measured
+        else 0.0
+    )
+    measured.sort(key=lambda row: (-row[1], row[0]))
+    return CriticalPathReport(
+        breakdown={k: breakdown[k] for k in PHASES if k in breakdown},
+        entries_total=len(trace.entry_roots),
+        entries_measured=len(measured),
+        warmup=warmup,
+        end_to_end=end_to_end,
+        critical_counts=critical_counts,
+        slowest=measured[:slowest],
+    )
+
+
+def compare_breakdowns(
+    trace_breakdown: Dict[str, float],
+    stamp_breakdown: Dict[str, float],
+    rel_tolerance: float = 0.05,
+    abs_tolerance: float = 1e-4,
+) -> Dict[str, Dict[str, float]]:
+    """Per-phase agreement check between trace- and stamp-based numbers.
+
+    A phase agrees when the relative error is within ``rel_tolerance``
+    *or* the absolute difference is below ``abs_tolerance`` (sub-0.1 ms
+    phases would otherwise fail on noise). Returns
+    ``{phase: {"trace": t, "stamp": s, "rel_err": e, "ok": 0/1}}``.
+    """
+    report: Dict[str, Dict[str, float]] = {}
+    for phase in PHASES:
+        trace_value = trace_breakdown.get(phase)
+        stamp_value = stamp_breakdown.get(phase)
+        if trace_value is None and stamp_value is None:
+            continue
+        t = trace_value or 0.0
+        s = stamp_value or 0.0
+        diff = abs(t - s)
+        rel = diff / s if s > 0 else (0.0 if diff <= abs_tolerance else float("inf"))
+        ok = rel <= rel_tolerance or diff <= abs_tolerance
+        report[phase] = {
+            "trace": t,
+            "stamp": s,
+            "rel_err": rel,
+            "ok": 1.0 if ok else 0.0,
+        }
+    return report
+
+
+def breakdowns_agree(comparison: Dict[str, Dict[str, float]]) -> bool:
+    return all(row["ok"] for row in comparison.values())
+
+
+def format_report(
+    report: CriticalPathReport,
+    stamp_breakdown: Optional[Dict[str, float]] = None,
+    rel_tolerance: float = 0.05,
+) -> str:
+    """Human-readable critical-path report (the ``repro trace`` output)."""
+    lines = [
+        "critical-path latency attribution (trace-derived)",
+        f"  entries: {report.entries_measured} measured"
+        f" / {report.entries_total} traced"
+        f" (warmup {report.warmup:.3f}s excluded)",
+        "",
+        f"  {'phase':<20} {'mean_s':>10} {'share':>7} {'critical_on':>12}",
+    ]
+    stage_total = sum(
+        value for key, value in report.breakdown.items() if key != "batching"
+    ) + report.breakdown.get("batching", 0.0)
+    for phase in PHASES:
+        value = report.breakdown.get(phase)
+        if value is None:
+            continue
+        share = value / stage_total if stage_total > 0 else 0.0
+        lines.append(
+            f"  {phase:<20} {value:>10.6f} {share:>6.1%}"
+            f" {report.critical_counts.get(phase, 0):>12}"
+        )
+    lines.append(f"  {'end-to-end (mean)':<20} {report.end_to_end:>10.6f}")
+    if report.slowest:
+        lines.append("")
+        lines.append("  slowest entries:")
+        for name, total, dominant in report.slowest:
+            lines.append(f"    {name:<18} {total:.6f}s  dominant: {dominant}")
+    if stamp_breakdown is not None:
+        comparison = compare_breakdowns(
+            report.breakdown, stamp_breakdown, rel_tolerance=rel_tolerance
+        )
+        lines.append("")
+        lines.append(
+            f"  cross-check vs stamp-based phase_durations()"
+            f" (tolerance {rel_tolerance:.0%}):"
+        )
+        lines.append(
+            f"  {'phase':<20} {'trace_s':>10} {'stamp_s':>10} {'rel_err':>8}  ok"
+        )
+        for phase, row in comparison.items():
+            rel = row["rel_err"]
+            rel_text = f"{rel:>8.4f}" if rel != float("inf") else "     inf"
+            mark = "yes" if row["ok"] else "NO"
+            lines.append(
+                f"  {phase:<20} {row['trace']:>10.6f} {row['stamp']:>10.6f}"
+                f" {rel_text}  {mark}"
+            )
+        verdict = "AGREE" if breakdowns_agree(comparison) else "DISAGREE"
+        lines.append(f"  verdict: {verdict}")
+    return "\n".join(lines)

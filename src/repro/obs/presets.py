@@ -1,0 +1,61 @@
+"""Named trace presets: the figure operating points ``repro trace`` runs.
+
+A preset pins everything but the protocol: cluster family, workload,
+offered load, run length and warmup. ``nationwide-ycsb-a`` is the Fig 8
+headline point the overhead budget is measured on; the small variant
+exists for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class TracePreset:
+    """One named operating point for ``repro trace``."""
+
+    name: str
+    cluster: str  # "nationwide" | "worldwide"
+    workload: str
+    offered_load: float
+    duration: float
+    warmup: float
+    nodes_per_group: int = 7
+
+    def describe(self) -> str:
+        return (
+            f"{self.cluster} x{self.nodes_per_group}, {self.workload},"
+            f" {self.offered_load:.0f} tx/s/group,"
+            f" {self.duration}s (+{self.warmup}s warmup)"
+        )
+
+
+PRESETS: Dict[str, TracePreset] = {
+    preset.name: preset
+    for preset in (
+        TracePreset(
+            "nationwide-ycsb-a", "nationwide", "ycsb-a",
+            offered_load=30_000.0, duration=1.6, warmup=0.4,
+        ),
+        TracePreset(
+            "worldwide-ycsb-a", "worldwide", "ycsb-a",
+            offered_load=30_000.0, duration=2.4, warmup=0.6,
+        ),
+        TracePreset(
+            "nationwide-smallbank", "nationwide", "smallbank",
+            offered_load=30_000.0, duration=1.6, warmup=0.4,
+        ),
+        TracePreset(
+            "nationwide-tpcc", "nationwide", "tpcc",
+            offered_load=10_000.0, duration=1.6, warmup=0.4,
+        ),
+        # CI smoke point: small cluster, short run, still past warmup.
+        TracePreset(
+            "smoke", "nationwide", "ycsb-a",
+            offered_load=6_000.0, duration=0.8, warmup=0.2,
+            nodes_per_group=4,
+        ),
+    )
+}

@@ -1,0 +1,185 @@
+"""Trace bundle schemas + a dependency-free mini JSON-Schema validator.
+
+CI's ``trace-smoke`` job validates the exported bundle against these
+schemas; the standard library has no JSON-Schema support and this repo
+adds no third-party dependencies, so :func:`validate` implements the
+small keyword subset the schemas below actually use: ``type`` (single
+name or list), ``required``, ``properties``, ``items``, ``enum``,
+``minimum``, ``additionalProperties`` (boolean form only).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List, Optional
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaError(ValueError):
+    """A JSON instance did not match its schema."""
+
+
+def _type_ok(value: Any, name: str) -> bool:
+    expected = _TYPES[name]
+    if name in ("number", "integer") and isinstance(value, bool):
+        return False  # bool is an int in Python, not in JSON Schema
+    return isinstance(value, expected)
+
+
+def validate(instance: Any, schema: Dict[str, Any], path: str = "$") -> None:
+    """Raise :class:`SchemaError` when ``instance`` violates ``schema``."""
+    declared = schema.get("type")
+    if declared is not None:
+        names = declared if isinstance(declared, list) else [declared]
+        if not any(_type_ok(instance, name) for name in names):
+            raise SchemaError(
+                f"{path}: expected {' or '.join(names)},"
+                f" got {type(instance).__name__}"
+            )
+    enum = schema.get("enum")
+    if enum is not None and instance not in enum:
+        raise SchemaError(f"{path}: {instance!r} not in {enum!r}")
+    minimum = schema.get("minimum")
+    if (
+        minimum is not None
+        and isinstance(instance, (int, float))
+        and not isinstance(instance, bool)
+        and instance < minimum
+    ):
+        raise SchemaError(f"{path}: {instance!r} below minimum {minimum!r}")
+    if isinstance(instance, dict):
+        for key in schema.get("required", ()):
+            if key not in instance:
+                raise SchemaError(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        for key, sub in properties.items():
+            if key in instance:
+                validate(instance[key], sub, f"{path}.{key}")
+        if schema.get("additionalProperties") is False:
+            extras = sorted(set(instance) - set(properties))
+            if extras:
+                raise SchemaError(f"{path}: unexpected keys {extras!r}")
+    if isinstance(instance, list):
+        items = schema.get("items")
+        if items is not None:
+            for index, element in enumerate(instance):
+                validate(element, items, f"{path}[{index}]")
+
+
+#: One Chrome trace event row (metadata, complete, counter, or instant).
+TRACE_EVENT_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["name", "ph", "pid"],
+    "properties": {
+        "name": {"type": "string"},
+        "cat": {"type": "string"},
+        "ph": {"type": "string", "enum": ["M", "X", "C", "i"]},
+        "ts": {"type": "number", "minimum": 0},
+        "dur": {"type": "number", "minimum": 0},
+        "pid": {"type": "integer", "minimum": 0},
+        "tid": {"type": "integer", "minimum": 0},
+        "s": {"type": "string", "enum": ["g", "p", "t"]},
+        "args": {"type": "object"},
+    },
+    "additionalProperties": False,
+}
+
+#: The full ``trace.json`` document.
+CHROME_TRACE_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["traceEvents", "displayTimeUnit"],
+    "properties": {
+        "traceEvents": {"type": "array", "items": TRACE_EVENT_SCHEMA},
+        "displayTimeUnit": {"type": "string", "enum": ["ms", "ns"]},
+        "otherData": {"type": "object"},
+    },
+    "additionalProperties": False,
+}
+
+#: One line of ``spans.jsonl``.
+SPAN_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["span_id", "parent_id", "name", "cat", "track", "start", "end", "args"],
+    "properties": {
+        "span_id": {"type": "integer", "minimum": 1},
+        "parent_id": {"type": ["integer", "null"]},
+        "name": {"type": "string"},
+        "cat": {"type": "string", "enum": ["entry", "stage", "message", "fault"]},
+        "track": {"type": "string"},
+        "start": {"type": "number", "minimum": 0},
+        "end": {"type": "number", "minimum": 0},
+        "args": {"type": "object"},
+    },
+    "additionalProperties": False,
+}
+
+
+def validate_chrome_trace(doc: Any) -> int:
+    """Validate a trace-event document; returns the event count."""
+    validate(doc, CHROME_TRACE_SCHEMA)
+    events = doc["traceEvents"]
+    for index, event in enumerate(events):
+        ph = event.get("ph")
+        if ph == "X" and "dur" not in event:
+            raise SchemaError(f"$.traceEvents[{index}]: X event missing dur")
+        if ph in ("X", "C", "i") and "ts" not in event:
+            raise SchemaError(f"$.traceEvents[{index}]: {ph} event missing ts")
+    return len(events)
+
+
+def validate_span_line(line: str, line_no: int = 0) -> Dict[str, Any]:
+    """Parse + validate one ``spans.jsonl`` line; returns the span dict."""
+    try:
+        span = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"spans.jsonl:{line_no}: invalid JSON: {exc}") from exc
+    validate(span, SPAN_SCHEMA, path=f"spans.jsonl:{line_no}")
+    if span["end"] < span["start"]:
+        raise SchemaError(f"spans.jsonl:{line_no}: end precedes start")
+    return span
+
+
+def _iter_span_lines(path: str) -> Iterator[str]:
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield line
+
+
+def validate_bundle(
+    trace_path: str, spans_path: Optional[str] = None
+) -> Dict[str, int]:
+    """Validate an exported bundle on disk; returns validated counts.
+
+    Also checks span referential integrity: every non-null ``parent_id``
+    must reference a ``span_id`` defined in the same file.
+    """
+    with open(trace_path) as fh:
+        doc = json.load(fh)
+    counts = {"trace_events": validate_chrome_trace(doc)}
+    if spans_path is not None:
+        spans: List[Dict[str, Any]] = []
+        for line_no, line in enumerate(_iter_span_lines(spans_path), start=1):
+            spans.append(validate_span_line(line, line_no))
+        ids = {span["span_id"] for span in spans}
+        if len(ids) != len(spans):
+            raise SchemaError("spans.jsonl: duplicate span_id")
+        for span in spans:
+            parent = span["parent_id"]
+            if parent is not None and parent not in ids:
+                raise SchemaError(
+                    f"spans.jsonl: span {span['span_id']} references"
+                    f" unknown parent {parent}"
+                )
+        counts["spans"] = len(spans)
+    return counts

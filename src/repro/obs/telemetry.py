@@ -1,0 +1,112 @@
+"""Telemetry timelines: named per-node / per-link / per-group TimeSeries.
+
+A :class:`TelemetryRegistry` is a flat, insertion-ordered namespace of
+:class:`repro.sim.monitor.TimeSeries`. The :class:`NicSampler` fills it
+by periodically reading the simulated NIC queues and PBFT state — it
+only *reads*, so attaching it cannot perturb a seeded run — and the
+tracer adds event-driven series (queue-depth snapshots, gating stalls)
+on top.
+
+Naming convention (slash-separated, stable across runs)::
+
+    node/N0.1/wan_up.backlog_s       seconds of queued egress work
+    node/N0.1/wan_up.inflight_bytes  bytes not yet serialized onto the wire
+    node/N0.1/wan_up.utilization     busy fraction of the last interval
+    group/g0/pbft_view               local PBFT leader index (view stand-in)
+    group/g0/wan_backlog_s           admission-gate snapshot (rep's NIC)
+    group/g0/cpu_backlog_s           admission-gate snapshot (rep's CPU)
+    group/g0/gated_total             cumulative held proposals
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.monitor import TimeSeries
+
+
+class TelemetryRegistry:
+    """Insertion-ordered registry of named telemetry time series."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, TimeSeries] = {}
+
+    def series(self, name: str) -> TimeSeries:
+        ts = self._series.get(name)
+        if ts is None:
+            ts = TimeSeries(name)
+            self._series[name] = ts
+        return ts
+
+    def record(self, name: str, time: float, value: float) -> None:
+        self.series(name).record(time, value)
+
+    def names(self) -> List[str]:
+        return list(self._series)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def items(self) -> List[Tuple[str, TimeSeries]]:
+        return list(self._series.items())
+
+    def to_jsonable(self) -> Dict[str, List[Tuple[float, float]]]:
+        """``{name: [(t, v), ...]}`` in registration order."""
+        return {name: list(ts.points) for name, ts in self._series.items()}
+
+
+class NicSampler:
+    """Periodic reader of NIC queues and group consensus state.
+
+    Installed by the tracer on a repeating simulator timer. Every tick it
+    records, for each node and each sampled lane, the egress backlog in
+    seconds, the in-flight bytes it represents, and the busy fraction of
+    the interval just ended; plus each group's current PBFT view (leader
+    index). All reads, no writes — simulation behaviour is untouched.
+    """
+
+    def __init__(
+        self,
+        deployment,
+        registry: TelemetryRegistry,
+        lanes: Sequence[str] = ("wan_up",),
+    ) -> None:
+        self.deployment = deployment
+        self.registry = registry
+        self.lanes = tuple(lanes)
+        self.interval: float = 0.0  # set by the tracer when it installs us
+        self._last_busy: Dict[Tuple[str, str], float] = {}
+        self.samples_taken = 0
+
+    def sample(self) -> None:
+        deployment = self.deployment
+        now = deployment.sim.now
+        registry = self.registry
+        network = deployment.network
+        for addr in sorted(deployment.nodes):
+            queues = network.nic_queues(addr)
+            for lane in self.lanes:
+                queue = queues[lane]
+                backlog = queue.backlog(now)
+                prefix = f"node/{addr!r}/{lane}"
+                registry.record(f"{prefix}.backlog_s", now, backlog)
+                registry.record(
+                    f"{prefix}.inflight_bytes", now, backlog * queue.rate / 8.0
+                )
+                key = (repr(addr), lane)
+                last = self._last_busy.get(key, 0.0)
+                self._last_busy[key] = queue.busy_time
+                if self.interval > 0:
+                    util = min(1.0, (queue.busy_time - last) / self.interval)
+                    registry.record(f"{prefix}.utilization", now, util)
+        for gid in sorted(deployment.groups):
+            group = deployment.groups[gid]
+            registry.record(
+                f"group/g{gid}/pbft_view",
+                now,
+                float(getattr(group.pbft, "leader_index", 0)),
+            )
+        self.samples_taken += 1

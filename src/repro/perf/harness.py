@@ -43,6 +43,11 @@ SCHEMA = "repro-perf/1"
 #: more than this fraction below the baseline (the CI perf-smoke gate).
 DEFAULT_TOLERANCE = 0.30
 
+#: Allowed wall-clock slowdown of the fig08 point with a tracer attached
+#: (spans + NIC hook + telemetry sampler), measured in the same process
+#: against the untraced run — so no machine normalization is needed.
+TRACE_OVERHEAD_TOLERANCE = 0.10
+
 
 @dataclass(frozen=True)
 class BenchConfig:
@@ -126,9 +131,17 @@ def _run_kernels(
 
 
 def _run_end_to_end(
-    config: BenchConfig, log: Optional[Callable[[str], None]]
+    config: BenchConfig,
+    log: Optional[Callable[[str], None]],
+    traced: bool = False,
 ) -> Dict[str, float]:
-    """Time the fig08 nationwide MassBFT YCSB-A point, best-of-N."""
+    """Time the fig08 nationwide MassBFT YCSB-A point, best-of-N.
+
+    With ``traced=True`` a full :class:`repro.obs.Tracer` is attached
+    before each run (span collection, NIC transmit hook, telemetry
+    sampler) — the timed region covers the run itself; span assembly and
+    export are post-processing and not part of the overhead budget.
+    """
     from repro.protocols import GeoDeployment, protocol_by_name
     from repro.topology import nationwide_cluster
     from repro.workloads import make_workload
@@ -141,6 +154,8 @@ def _run_end_to_end(
             offered_load=30_000.0,
             seed=0,
         )
+        if traced:
+            deployment.attach_tracer()
         start = time.perf_counter()
         metrics = deployment.run(
             duration=config.e2e_duration, warmup=config.e2e_warmup
@@ -163,8 +178,9 @@ def _run_end_to_end(
         "throughput_tps": metrics.throughput,
     }
     if log:
+        label = "end_to_end traced" if traced else "end_to_end (fig08 point)"
         log(
-            f"  end_to_end (fig08 point)     {result['sim_seconds_per_wall_second']:8.2f} "
+            f"  {label:<28} {result['sim_seconds_per_wall_second']:8.2f} "
             f"sim-s/wall-s  ({best_wall:.3f}s wall, "
             f"{metrics.committed} committed)"
         )
@@ -202,6 +218,28 @@ def run_perf(
                 e2e["sim_seconds_per_wall_second"]
                 / kernels["calibration.spin"]["ops_per_sec"]
             )
+            traced = _run_end_to_end(config, log, traced=True)
+            report["end_to_end_traced"] = traced
+            overhead = (
+                traced["wall_seconds"] / e2e["wall_seconds"] - 1.0
+                if e2e["wall_seconds"] > 0
+                else 0.0
+            )
+            report["trace_overhead"] = {
+                "ratio": overhead,
+                "tolerance": TRACE_OVERHEAD_TOLERANCE,
+                "committed_match": traced["committed"] == e2e["committed"],
+                "ok": (
+                    overhead <= TRACE_OVERHEAD_TOLERANCE
+                    and traced["committed"] == e2e["committed"]
+                ),
+            }
+            if log:
+                log(
+                    f"  trace overhead               {overhead:+8.1%} "
+                    f"(budget +{TRACE_OVERHEAD_TOLERANCE:.0%}, committed "
+                    f"{'match' if report['trace_overhead']['committed_match'] else 'MISMATCH'})"
+                )
         return report
     finally:
         if gc_was_enabled:

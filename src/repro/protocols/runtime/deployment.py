@@ -240,6 +240,16 @@ class GeoDeployment:
         """Subscribe a :class:`StageTrace` to this deployment's bus."""
         return StageTrace.attach(self.bus)
 
+    def attach_tracer(self, **options):
+        """Attach a full :class:`repro.obs.Tracer` (spans + telemetry).
+
+        Imported lazily: untraced runs never touch the observability
+        subsystem. Must be called before :meth:`run`.
+        """
+        from repro.obs import Tracer
+
+        return Tracer.attach(self, **options)
+
     # ------------------------------------------------------------------
     # Failure injection (delegates to the faults stage)
     # ------------------------------------------------------------------

@@ -19,7 +19,10 @@ from repro.core.replication import (
     LeaderUnicastTransport,
 )
 from repro.costs import CostModel
-from repro.protocols.runtime.events import EntryAvailableRemote
+from repro.protocols.runtime.events import (
+    EntryAvailableRemote,
+    EntryReplicationStarted,
+)
 
 
 def build_transport(
@@ -63,6 +66,13 @@ class DisseminationStage:
 
     def replicate(self, entry: LogEntry, group, node) -> None:
         """Ship a locally committed entry to every other group."""
+        bus = self.deployment.bus
+        if bus.wants(EntryReplicationStarted):
+            bus.publish(
+                EntryReplicationStarted(
+                    entry.entry_id, self.deployment.sim.now, entry.size_bytes
+                )
+            )
         self.transport.replicate(entry, group.members, node)
 
     def on_entry_available(self, node, entry_id: EntryId) -> None:

@@ -110,6 +110,20 @@ class FaultInjected:
 
 
 @dataclass(frozen=True)
+class EntryReplicationStarted:
+    """The dissemination stage began shipping an entry to remote groups.
+
+    Published only when someone subscribed (``bus.wants``): the event
+    exists for tracers, and the hot path must stay allocation-free when
+    nothing is listening.
+    """
+
+    entry_id: EntryId
+    at: float
+    bytes_total: int
+
+
+@dataclass(frozen=True)
 class QueueDepthsSampled:
     """Admission-gate snapshot taken when a group evaluates its windows."""
 
@@ -144,6 +158,15 @@ class EventBus:
     def subscribe(self, event_type: Type, handler: Callable[[Any], None]) -> None:
         self._subscribers.setdefault(event_type, []).append(handler)
 
+    def wants(self, event_type: Type) -> bool:
+        """True when at least one handler is subscribed to ``event_type``.
+
+        Publishers of optional (tracing-only) events check this before
+        constructing the event object, so a run without subscribers pays
+        one dict lookup and zero allocations.
+        """
+        return event_type in self._subscribers
+
     def publish(self, event: Any) -> None:
         handlers = self._subscribers.get(type(event))
         if handlers:
@@ -171,6 +194,8 @@ class MetricsBridge:
         bus.subscribe(EntryAvailableRemote, self._on_available_remote)
         bus.subscribe(EntryGloballyCommitted, self._on_global_committed)
         bus.subscribe(EntryExecuted, self._on_executed)
+        bus.subscribe(QueueDepthsSampled, self._on_queue_depths)
+        bus.subscribe(ProposalGated, self._on_gated)
 
     def _on_batched(self, event: EntryBatched) -> None:
         self.metrics.stamp(event.entry_id, "batched", event.at)
@@ -189,6 +214,14 @@ class MetricsBridge:
         self.metrics.stamp(event.entry_id, "executed", event.at)
         self.metrics.record_commits(event.commit_times, event.at, event.gid)
         self.metrics.record_aborts(event.aborted, event.at)
+
+    def _on_queue_depths(self, event: QueueDepthsSampled) -> None:
+        self.metrics.record_queue_sample(
+            event.gid, event.at, event.wan_backlog, event.cpu_backlog
+        )
+
+    def _on_gated(self, event: ProposalGated) -> None:
+        self.metrics.record_gated(event.gid, event.reason, event.at)
 
 
 @dataclass

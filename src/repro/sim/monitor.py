@@ -44,8 +44,18 @@ class Histogram:
         self._sorted = True
 
     def observe(self, value: float) -> None:
-        self.samples.append(value)
-        self._sorted = False
+        # Appending in non-decreasing order keeps the samples sorted, so
+        # interleaved observe/percentile patterns don't re-sort each read.
+        samples = self.samples
+        if self._sorted and samples and value < samples[-1]:
+            self._sorted = False
+        samples.append(value)
+
+    def _ensure_sorted(self) -> List[float]:
+        if not self._sorted:
+            self.samples.sort()
+            self._sorted = True
+        return self.samples
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -70,11 +80,9 @@ class Histogram:
             return 0.0
         if not 0.0 <= pct <= 100.0:
             raise ValueError(f"percentile {pct} outside [0, 100]")
-        if not self._sorted:
-            self.samples.sort()
-            self._sorted = True
-        rank = max(0, math.ceil(pct / 100.0 * len(self.samples)) - 1)
-        return self.samples[rank]
+        samples = self._ensure_sorted()
+        rank = max(0, math.ceil(pct / 100.0 * len(samples)) - 1)
+        return samples[rank]
 
     @property
     def p50(self) -> float:
@@ -86,11 +94,17 @@ class Histogram:
 
     @property
     def max(self) -> float:
-        return max(self.samples) if self.samples else 0.0
+        """Largest sample, via the sorted path shared with percentile()."""
+        if not self.samples:
+            return 0.0
+        return self._ensure_sorted()[-1]
 
     @property
     def min(self) -> float:
-        return min(self.samples) if self.samples else 0.0
+        """Smallest sample, via the sorted path shared with percentile()."""
+        if not self.samples:
+            return 0.0
+        return self._ensure_sorted()[0]
 
 
 class TimeSeries:

@@ -166,6 +166,14 @@ class Network:
         self.limit_downstream = limit_downstream
         self._rng = (rng or RngRegistry()).stream("network")
         self._next_msg_id = 1
+        #: Optional observability tap (set by ``repro.obs.Tracer``): called
+        #: as ``hook(msg, lane, tx_start, tx_done, deliver_at)`` for every
+        #: unicast transmission; ``deliver_at`` is None when the message
+        #: was lost on the wire. Stays None in untraced runs, so the hot
+        #: path pays one identity check and zero allocations.
+        self.transmit_hook: Optional[
+            Callable[[Message, str, float, float, Optional[float]], None]
+        ] = None
 
         self._handlers: Dict[NodeAddress, Callable[[Message], None]] = {}
         self._group_cache: Dict[int, List[NodeAddress]] = {}
@@ -316,7 +324,8 @@ class Network:
 
         if src.group == dst.group:
             quality = self.lan_quality
-            _, tx_done = self._lan_up[src].acquire(now, bits)
+            lane_name = "lan_up"
+            tx_start, tx_done = self._lan_up[src].acquire(now, bits)
             latency = self.lan_latency
             self.lan_bytes_total += size_bytes
             arrival = tx_done + latency
@@ -325,8 +334,9 @@ class Network:
             quality = self.wan_quality
             if src.group in self._partitioned_groups or dst.group in self._partitioned_groups:
                 return msg  # swallowed by the partition
+            lane_name = "wan_ctl" if priority else "wan_up"
             lane = self._wan_ctl[src] if priority else self._wan_up[src]
-            _, tx_done = lane.acquire(now, bits)
+            tx_start, tx_done = lane.acquire(now, bits)
             latency = self.one_way_latency(src.group, dst.group)
             self.wan_bytes_by_node[src] += size_bytes
             self.wan_bytes_total += size_bytes
@@ -336,13 +346,19 @@ class Network:
             else:
                 deliver_at = arrival
 
+        dropped = False
         if quality.loss_probability > 0 and self._rng.random() < quality.loss_probability:
             self.monitor.counter("network.dropped").add()
-            return msg
-        if quality.jitter > 0:
+            dropped = True
+        elif quality.jitter > 0:
             deliver_at += self._rng.random() * quality.jitter
 
-        self.sim.schedule_at(deliver_at, self._deliver, msg)
+        if not dropped:
+            self.sim.schedule_at(deliver_at, self._deliver, msg)
+        if self.transmit_hook is not None:
+            self.transmit_hook(
+                msg, lane_name, tx_start, tx_done, None if dropped else deliver_at
+            )
         return msg
 
     def broadcast_group(
@@ -424,6 +440,20 @@ class Network:
 
     def wan_utilization(self, addr: NodeAddress, elapsed: float) -> float:
         return self._wan_up[addr].utilization(elapsed)
+
+    def nic_queues(self, addr: NodeAddress) -> Dict[str, ResourceQueue]:
+        """The node's NIC serialization queues, by lane name.
+
+        Telemetry samplers read backlog/rate/busy_time off these; the
+        objects are live, not copies.
+        """
+        self._require_registered(addr)
+        return {
+            "wan_up": self._wan_up[addr],
+            "wan_ctl": self._wan_ctl[addr],
+            "wan_down": self._wan_down[addr],
+            "lan_up": self._lan_up[addr],
+        }
 
     def wan_backlog(self, addr: NodeAddress) -> float:
         return self._wan_up[addr].backlog(self.sim.now)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.bench.harness import ExperimentRunner, RunConfig
 from repro.bench.metrics import RunMetrics
-from repro.bench.report import format_series, format_table
+from repro.bench.report import format_queue_gating, format_series, format_table
 from repro.core.entry import EntryId
 from tests.conftest import tiny_cluster
 
@@ -69,6 +69,30 @@ class TestRunMetrics:
         m = RunMetrics(1)
         with pytest.raises(RuntimeError):
             m.measured_duration()
+
+    def test_queue_summary(self):
+        m = RunMetrics(2)
+        m.warmup = 1.0
+        m.record_queue_sample(0, now=0.5, wan_backlog=9.0, cpu_backlog=9.0)
+        m.record_queue_sample(0, now=1.5, wan_backlog=0.2, cpu_backlog=0.1)
+        m.record_queue_sample(0, now=2.0, wan_backlog=0.4, cpu_backlog=0.3)
+        m.record_gated(0, "wan", now=0.5)  # in warmup, dropped
+        m.record_gated(0, "wan", now=1.5)
+        m.record_gated(0, "cpu", now=1.6)
+        rows = m.queue_summary()
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["gid"] == 0
+        assert row["samples"] == 2  # warmup sample excluded
+        assert row["wan_backlog_mean"] == pytest.approx(0.3)
+        assert row["wan_backlog_max"] == pytest.approx(0.4)
+        assert row["cpu_backlog_max"] == pytest.approx(0.3)
+        assert row["gated_total"] == 2
+        assert row["gated_wan"] == 1
+        assert row["gated_cpu"] == 1
+
+    def test_queue_summary_empty(self):
+        assert RunMetrics(2).queue_summary() == []
 
 
 class TestHarness:
@@ -173,3 +197,15 @@ class TestReport:
         assert "1,234,567" in out
         assert "0.123" in out
         assert "12.3" in out
+
+    def test_queue_gating_table(self):
+        m = RunMetrics(2)
+        m.record_queue_sample(1, now=0.5, wan_backlog=0.25, cpu_backlog=0.0)
+        m.record_gated(1, "wan", now=0.5)
+        out = format_queue_gating(m)
+        assert "admission gate" in out
+        assert "g1" in out
+        assert "stalls_wan" in out
+
+    def test_queue_gating_table_empty(self):
+        assert format_queue_gating(RunMetrics(2)) == ""

@@ -78,6 +78,35 @@ class TestCompareCommand:
         assert "geobft" in out and "steward" in out
 
 
+class TestTraceCommand:
+    def test_smoke_trace_writes_validated_bundle(self, capsys, tmp_path):
+        code = main(
+            [
+                "trace",
+                "--preset", "smoke",
+                "--out", str(tmp_path),
+                "--validate",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "critical-path latency attribution" in out
+        assert "verdict: AGREE" in out
+        assert "schema validation ok" in out
+        for name in ("trace.json", "spans.jsonl", "telemetry.json", "report.txt"):
+            assert (tmp_path / name).exists(), name
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.protocol == "massbft"
+        assert args.preset == "nationwide-ycsb-a"
+        assert args.telemetry_interval == 0.005
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "--preset", "lunar"])
+
+
 class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args(["run"])

@@ -1,0 +1,149 @@
+"""Critical-path attribution: agreement with stamp-based accounting.
+
+This is the regression guard behind the fig11 benchmark refactor: the
+trace-derived breakdown and ``RunMetrics.phase_durations()`` consume the
+same bus events, so they must agree within tolerance on any run.
+"""
+
+import pytest
+
+from repro.obs import (
+    PHASES,
+    Tracer,
+    analyze,
+    breakdowns_agree,
+    compare_breakdowns,
+    entry_attribution,
+    format_report,
+)
+from repro.obs.spans import Span
+
+from tests.test_obs_tracer import small_deployment
+
+WARMUP = 0.25
+
+
+@pytest.fixture(scope="module")
+def traced_metrics():
+    deployment = small_deployment(seed=11)
+    tracer = Tracer.attach(deployment, telemetry_interval=0.0)
+    metrics = deployment.run(duration=1.2, warmup=WARMUP)
+    return tracer.build(), metrics
+
+
+class TestAgreement:
+    def test_trace_breakdown_matches_stamp_breakdown(self, traced_metrics):
+        trace, metrics = traced_metrics
+        report = analyze(trace, warmup=WARMUP)
+        stamp = metrics.phase_durations()
+        comparison = compare_breakdowns(
+            report.breakdown, stamp, rel_tolerance=0.05
+        )
+        assert comparison, "expected at least one comparable phase"
+        assert breakdowns_agree(comparison), comparison
+
+    def test_all_phases_present_on_healthy_run(self, traced_metrics):
+        trace, _ = traced_metrics
+        report = analyze(trace, warmup=WARMUP)
+        assert tuple(report.breakdown) == PHASES
+        assert all(v >= 0.0 for v in report.breakdown.values())
+        assert report.entries_measured > 0
+        assert report.entries_measured <= report.entries_total
+
+    def test_warmup_filters_entries(self, traced_metrics):
+        trace, _ = traced_metrics
+        everything = analyze(trace, warmup=0.0)
+        filtered = analyze(trace, warmup=WARMUP)
+        assert filtered.entries_measured < everything.entries_measured
+        # Batching is aggregated over all entries regardless of warmup,
+        # mirroring the stamp-based accounting.
+        assert filtered.breakdown["batching"] == pytest.approx(
+            everything.breakdown["batching"]
+        )
+
+    def test_report_lists_slowest_and_critical(self, traced_metrics):
+        trace, _ = traced_metrics
+        report = analyze(trace, warmup=WARMUP, slowest=3)
+        assert len(report.slowest) == 3
+        totals = [total for _, total, _ in report.slowest]
+        assert totals == sorted(totals, reverse=True)
+        assert sum(report.critical_counts.values()) == report.entries_measured
+
+    def test_format_report_cross_check(self, traced_metrics):
+        trace, metrics = traced_metrics
+        report = analyze(trace, warmup=WARMUP)
+        text = format_report(report, metrics.phase_durations())
+        assert "critical-path latency attribution" in text
+        assert "verdict: AGREE" in text
+        for phase in PHASES:
+            assert phase in text
+
+
+def _entry_root() -> Span:
+    root = Span(
+        1,
+        "entry g0:0",
+        "entry",
+        0.0,
+        1.0,
+        "g0/entries",
+        args={"batch_wait": 0.01, "complete": True, "gid": 0, "seq": 0},
+    )
+    root.child(2, "batching", "stage", 0.0, 0.01)
+    root.child(3, "local_consensus", "stage", 0.01, 0.11)
+    root.child(4, "dissemination", "stage", 0.11, 0.61)
+    root.child(5, "global_consensus", "stage", 0.61, 0.81)
+    root.child(6, "ordering_execution", "stage", 0.81, 1.0)
+    return root
+
+
+class TestEntryAttribution:
+    def test_phase_values(self):
+        attr = entry_attribution(_entry_root())
+        assert attr == pytest.approx(
+            {
+                "batching": 0.01,
+                "local_consensus": 0.10,
+                "global_replication": 0.50,
+                "global_consensus": 0.20,
+                "ordering_execution": 0.19,
+            }
+        )
+
+    def test_replication_measured_from_local_end(self):
+        # Even if the dissemination span starts after local consensus
+        # ended (send was deferred), replication is boundary-to-boundary.
+        root = Span(1, "entry g0:1", "entry", 0.0, 1.0, "t", args={})
+        root.child(2, "local_consensus", "stage", 0.0, 0.1)
+        root.child(3, "dissemination", "stage", 0.3, 0.6)
+        attr = entry_attribution(root)
+        assert attr["global_replication"] == pytest.approx(0.5)
+
+    def test_partial_lifecycle(self):
+        root = Span(1, "entry g0:2", "entry", 0.0, 0.2, "t", args={})
+        root.child(2, "local_consensus", "stage", 0.0, 0.2)
+        attr = entry_attribution(root)
+        assert set(attr) == {"local_consensus"}
+
+
+class TestCompare:
+    def test_tolerance_boundaries(self):
+        trace_bd = {"local_consensus": 0.104}
+        stamp_bd = {"local_consensus": 0.100}
+        assert breakdowns_agree(compare_breakdowns(trace_bd, stamp_bd))
+        trace_bd = {"local_consensus": 0.120}
+        comparison = compare_breakdowns(trace_bd, stamp_bd)
+        assert not breakdowns_agree(comparison)
+        assert comparison["local_consensus"]["rel_err"] == pytest.approx(0.2)
+
+    def test_absolute_floor_for_tiny_phases(self):
+        # Sub-0.1ms phases agree via the absolute floor even at large
+        # relative error.
+        comparison = compare_breakdowns(
+            {"ordering_execution": 5e-5}, {"ordering_execution": 1e-5}
+        )
+        assert breakdowns_agree(comparison)
+
+    def test_missing_side_counts_as_zero(self):
+        comparison = compare_breakdowns({"global_consensus": 0.2}, {})
+        assert not breakdowns_agree(comparison)

@@ -1,0 +1,86 @@
+"""Tracing must not perturb the simulation, and must itself be stable.
+
+Two subprocess-based properties (fresh processes, because per-process
+global state makes in-process repeat runs incomparable — see
+``test_determinism.py``):
+
+* **on/off invariance** — a traced run commits the same transactions,
+  processes the same number of simulator events, and produces the same
+  ledger digests as an untraced run of the same seed;
+* **trace stability** — two traced runs in separate processes export
+  byte-identical ``spans.jsonl`` files.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+
+SCRIPT = f"""
+import hashlib, json, sys, tempfile, os
+sys.path.insert(0, {SRC!r})
+from repro.protocols import GeoDeployment, protocol_by_name
+from repro.topology import nationwide_cluster
+from repro.workloads import make_workload
+
+traced = sys.argv[1] == "traced"
+deployment = GeoDeployment(
+    nationwide_cluster(nodes_per_group=4),
+    protocol_by_name("massbft"),
+    make_workload("ycsb-a"),
+    offered_load=8_000.0,
+    seed=7,
+)
+tracer = deployment.attach_tracer() if traced else None
+metrics = deployment.run(duration=0.8, warmup=0.2)
+digests = []
+for gid in range(deployment.n_groups):
+    store = deployment.observer_of(gid).pipeline.store
+    sample = sorted(store._data)[:64]
+    digests.append(store.state_digest(sample=sample).hex())
+out = {{
+    "committed": metrics.committed,
+    "events": deployment.sim.events_processed,
+    "digests": digests,
+}}
+if tracer is not None:
+    from repro.obs import export_span_jsonl
+    path = os.path.join(tempfile.mkdtemp(), "spans.jsonl")
+    export_span_jsonl(tracer.build(), path)
+    data = open(path, "rb").read()
+    out["spans_sha256"] = hashlib.sha256(data).hexdigest()
+    out["span_lines"] = data.count(b"\\n")
+print(json.dumps(out, sort_keys=True))
+"""
+
+
+def _run(mode: str) -> dict:
+    proc = subprocess.run(
+        [sys.executable, "-c", SCRIPT, mode],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def test_tracing_does_not_perturb_the_run():
+    untraced = _run("untraced")
+    traced = _run("traced")
+    assert untraced["committed"] > 0
+    assert traced["committed"] == untraced["committed"]
+    assert traced["digests"] == untraced["digests"]
+    # The sampler timer adds events of its own, so event counts are only
+    # required to be >= the untraced run's — never fewer.
+    assert traced["events"] >= untraced["events"]
+
+
+def test_span_export_is_byte_identical_across_processes():
+    first = _run("traced")
+    second = _run("traced")
+    assert first["span_lines"] > 0
+    assert first["spans_sha256"] == second["spans_sha256"]
+    assert first == second

@@ -184,6 +184,29 @@ class TestMonitors:
         h.observe(1.0)
         assert h.p50 == 1.0  # re-sorts after new observation
 
+    def test_histogram_in_order_observes_skip_resort(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 2.0, 3.0):
+            h.observe(v)
+        # Non-decreasing observations keep the sorted invariant, so reads
+        # between observes never trigger a sort.
+        assert h._sorted
+        assert h.p50 == 2.0
+        h.observe(4.0)
+        assert h._sorted
+        assert h.max == 4.0
+
+    def test_histogram_min_max_after_out_of_order_observe(self):
+        h = Histogram("h")
+        h.observe(3.0)
+        h.observe(1.0)  # out of order: invalidates the sorted invariant
+        assert not h._sorted
+        assert h.max == 3.0 and h.min == 1.0
+        assert h._sorted  # min/max share percentile()'s sorted path
+        h.observe(0.5)
+        assert h.min == 0.5
+        assert h.percentile(100) == 3.0
+
     def test_timeseries_window_sums(self):
         ts = TimeSeries("t")
         ts.record(0.1, 1.0)
