@@ -15,7 +15,14 @@ The checker asserts the paper's safety claims, not its performance claims:
   before the end of the run (``commit_slack`` before, leaving room for
   crashed-group takeover) appears in some live observer's ledger (audit);
 * **certificate validity** — every quorum certificate local PBFT emits
-  carries >= 2f+1 valid signatures (online, from ``ValueCertified``);
+  carries >= 2f+1 valid signatures, where both the quorum size and the
+  set of legitimate signers are resolved against the membership view of
+  the epoch the certificate was *formed* in (online, from
+  ``ValueCertified``) — a certificate spanning a reconfiguration
+  boundary must validate under its own epoch, not the current one;
+* **epoch monotonicity** — membership epochs announced on the bus only
+  ever increase, and advance on every membership change (online, from
+  ``ReconfigApplied``);
 * **executed-state determinism** — live observers whose ledgers reached
   the same height hold bit-identical execution stores (audit);
 * **subchain integrity** — every observer's per-group subchains pass
@@ -33,7 +40,14 @@ from typing import Dict, List, Set, Tuple
 
 from repro.core.entry import EntryId
 from repro.crypto.hashing import digest
-from repro.protocols.runtime.events import EntryGloballyCommitted, ValueCertified
+from repro.protocols.runtime.events import (
+    EntryGloballyCommitted,
+    ReconfigApplied,
+    ValueCertified,
+)
+
+#: Reconfig kinds that change membership and must advance the epoch.
+_MEMBERSHIP_KINDS = ("join", "leave", "leader_move")
 
 
 @dataclass(frozen=True)
@@ -85,6 +99,8 @@ class InvariantSuite:
         self.executed: Dict = {}
         #: (observer address, gid) -> highest executed seq of that group.
         self._subchain_high: Dict[Tuple, int] = {}
+        #: Highest membership epoch seen on the bus so far.
+        self._epoch_high = 0
         self._audited = False
 
     # ------------------------------------------------------------------
@@ -97,6 +113,7 @@ class InvariantSuite:
         suite = cls(deployment, commit_slack=commit_slack)
         deployment.bus.subscribe(EntryGloballyCommitted, suite._on_global_commit)
         deployment.bus.subscribe(ValueCertified, suite._on_value_certified)
+        deployment.bus.subscribe(ReconfigApplied, suite._on_reconfig)
         for node in deployment.nodes.values():
             if node.is_observer and node.orderer is not None:
                 suite._wrap_orderer(node)
@@ -152,21 +169,60 @@ class InvariantSuite:
                     seq=event.entry_id.seq,
                 )
             )
-        elif cert is not None and not cert.verify(
-            self.deployment.keystore, quorum=event.quorum
-        ):
+        elif cert is not None:
+            # Epoch-scoped validation: signers and quorum come from the
+            # membership view of the epoch the certificate was formed in.
+            allowed = ()
+            membership = getattr(self.deployment, "membership", None)
+            if membership is not None:
+                cert_epoch = getattr(cert, "epoch", 0)
+                allowed = membership.members_at(event.gid, cert_epoch)
+            if not cert.verify(
+                self.deployment.keystore,
+                quorum=event.quorum,
+                allowed_signers=allowed,
+            ):
+                self._report(
+                    Violation(
+                        invariant="certificate-signatures",
+                        at=event.at,
+                        message=(
+                            f"{event.kind} certificate for {event.entry_id} at "
+                            f"group {event.gid} failed signature verification "
+                            f"against epoch {getattr(cert, 'epoch', 0)} membership"
+                        ),
+                        gid=event.entry_id.gid,
+                        seq=event.entry_id.seq,
+                    )
+                )
+
+    def _on_reconfig(self, event: ReconfigApplied) -> None:
+        if event.epoch < self._epoch_high:
             self._report(
                 Violation(
-                    invariant="certificate-signatures",
+                    invariant="epoch-monotonicity",
                     at=event.at,
                     message=(
-                        f"{event.kind} certificate for {event.entry_id} at group "
-                        f"{event.gid} failed signature verification"
+                        f"reconfiguration {event.kind} at group {event.gid} "
+                        f"announced epoch {event.epoch} after epoch "
+                        f"{self._epoch_high} was already in force"
                     ),
-                    gid=event.entry_id.gid,
-                    seq=event.entry_id.seq,
+                    gid=event.gid,
                 )
             )
+        elif event.kind in _MEMBERSHIP_KINDS and event.epoch == self._epoch_high:
+            self._report(
+                Violation(
+                    invariant="epoch-monotonicity",
+                    at=event.at,
+                    message=(
+                        f"membership change {event.kind} at group {event.gid} "
+                        f"did not advance the epoch (still {event.epoch})"
+                    ),
+                    gid=event.gid,
+                )
+            )
+        self._epoch_high = max(self._epoch_high, event.epoch)
 
     def _on_executed(self, node, entry_id: EntryId) -> None:
         if node.byzantine:  # honest replicas only; see _live_observers

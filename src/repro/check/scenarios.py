@@ -17,7 +17,7 @@ starts; the injector turns each op into simulator timers.
 from __future__ import annotations
 
 import random
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import List, Tuple
 
 from repro.sim.network import NodeAddress
@@ -26,6 +26,11 @@ from repro.topology.cluster import ClusterConfig
 #: Fault kinds the grammar can draw, in drawing order (order matters for
 #: reproducibility: changing it changes what a given seed generates).
 KINDS = ("crash_group", "crash_node", "byzantine", "partition", "slow_node")
+
+#: Reconfiguration (churn) kinds, drawn only when ``ScenarioConfig.churn``
+#: is set — a separate tuple so enabling churn never changes what existing
+#: seeds generate with churn off.
+CHURN_KINDS = ("join", "leave", "leader_move", "degrade_region", "group_resize")
 
 
 @dataclass(frozen=True)
@@ -36,8 +41,9 @@ class FaultOp:
     at: float
     gid: int = -1
     index: int = -1
-    until: float = 0.0  # partition heal time
-    bandwidth: float = 0.0  # slow_node degraded bandwidth, bytes/s
+    until: float = 0.0  # partition heal / degrade restore time
+    bandwidth: float = 0.0  # slow_node / degrade_region bandwidth, bits/s
+    count: int = 0  # group_resize target size
 
     def to_jsonable(self) -> dict:
         return asdict(self)
@@ -63,6 +69,20 @@ class FaultOp:
                 f"t={self.at:.4f} throttle node {self.gid}/{self.index} "
                 f"to {self.bandwidth / 1e6:.1f} MB/s"
             )
+        if self.kind == "join":
+            return f"t={self.at:.4f} join node into group {self.gid}"
+        if self.kind == "leave":
+            return f"t={self.at:.4f} leave node {self.gid}/{self.index}"
+        if self.kind == "leader_move":
+            target = f" to {self.index}" if self.index >= 0 else ""
+            return f"t={self.at:.4f} move leader of group {self.gid}{target}"
+        if self.kind == "degrade_region":
+            return (
+                f"t={self.at:.4f} degrade region {self.gid} to "
+                f"{self.bandwidth / 1e6:.1f} Mb/s until {self.until:.4f}"
+            )
+        if self.kind == "group_resize":
+            return f"t={self.at:.4f} resize group {self.gid} to {self.count}"
         return f"t={self.at:.4f} {self.kind}"
 
 
@@ -75,9 +95,35 @@ class FaultSchedule:
     def __len__(self) -> int:
         return len(self.ops)
 
+    def canonicalize(self) -> "FaultSchedule":
+        """Normal form: rounded time fields, grammar sort order.
+
+        Shrinking and replay key episodes by ``(seed, schedule)``; two
+        schedules describing the same ops must therefore serialize
+        identically. Rounding matches what :func:`generate_schedule`
+        emits, so a canonicalized schedule is a fixed point
+        (``s.canonicalize() == s.canonicalize().canonicalize()``) and
+        survives a JSON round-trip unchanged.
+        """
+        ops = [
+            replace(
+                op,
+                at=_round(op.at),
+                until=_round(op.until),
+                bandwidth=round(op.bandwidth, 1),
+            )
+            for op in self.ops
+        ]
+        ops.sort(key=lambda op: (op.at, op.kind, op.gid, op.index))
+        return FaultSchedule(tuple(ops))
+
     def without(self, i: int) -> "FaultSchedule":
-        """The schedule minus op ``i`` — the shrinking step."""
-        return FaultSchedule(self.ops[:i] + self.ops[i + 1 :])
+        """The schedule minus op ``i`` — the shrinking step.
+
+        Canonicalized so every shrunk schedule replays from the same
+        ``(seed, schedule)`` key regardless of how its parent was built.
+        """
+        return FaultSchedule(self.ops[:i] + self.ops[i + 1 :]).canonicalize()
 
     def apply(self, deployment) -> None:
         """Lower every op onto the deployment's fault injector."""
@@ -96,6 +142,20 @@ class FaultSchedule:
                 deployment.set_node_bandwidth_at(
                     NodeAddress(op.gid, op.index), op.bandwidth, op.at
                 )
+            elif op.kind == "join":
+                deployment.join_node_at(op.gid, op.at)
+            elif op.kind == "leave":
+                deployment.leave_node_at(op.gid, op.index, op.at)
+            elif op.kind == "leader_move":
+                deployment.move_leader_at(
+                    op.gid, op.at, op.index if op.index >= 0 else None
+                )
+            elif op.kind == "degrade_region":
+                deployment.degrade_region_at(
+                    op.gid, op.at, op.until, op.bandwidth
+                )
+            elif op.kind == "group_resize":
+                deployment.resize_group_at(op.gid, op.count, op.at)
             else:
                 raise ValueError(f"unknown fault kind {op.kind!r}")
 
@@ -127,6 +187,11 @@ class ScenarioConfig:
     max_ops: int = 5
     max_partition: float = 0.45
     slow_bandwidth: Tuple[float, float] = (2e6, 10e6)
+    #: Opt-in: also draw reconfiguration ops (CHURN_KINDS). Off by
+    #: default so existing seeds keep generating the same schedules.
+    churn: bool = False
+    #: At most this many churn ops per schedule (within ``max_ops``).
+    max_churn_ops: int = 3
 
     def to_jsonable(self) -> dict:
         return asdict(self)
@@ -159,34 +224,66 @@ def generate_schedule(
       baselines rather than the safety scenario under test);
     * at most one partition per group, no longer than ``max_partition``;
     * node slowdowns are unbudgeted — they are performance faults.
+
+    With ``config.churn`` set the draw pool widens to ``CHURN_KINDS``
+    (capped at ``max_churn_ops`` of them). Churn budgets compose with the
+    fault budgets conservatively: leaves keep every group at >= 4 voting
+    members after all departures, and the crash/Byzantine victim budget
+    is recomputed against the post-departure size, so no interleaving of
+    churn and crashes exceeds what the protocol tolerates. Joins do not
+    relax any budget (promotion is delayed by state transfer and may
+    fail), and a leave may target *any* live index — including the
+    current leader, whose departure exercises the hand-off path.
     """
     lo, hi = config.window
     n_ops = rng.randint(config.min_ops, config.max_ops)
+    kinds = KINDS + CHURN_KINDS if config.churn else KINDS
+    churn_left = config.max_churn_ops if config.churn else 0
 
     crashed_groups: set = set()
     victims = {g.gid: set() for g in cluster.groups}  # crashed/byz indices
     partitioned: set = set()
+    departed = {g.gid: set() for g in cluster.groups}  # left indices
+    departures = {g.gid: 0 for g in cluster.groups}  # incl. resize-downs
+    joins = {g.gid: 0 for g in cluster.groups}
+    moved: set = set()
+    degraded: set = set()
+    resized: set = set()
     by_group = {g.gid: g for g in cluster.groups}
 
     ops: List[FaultOp] = []
     attempts = 0
     while len(ops) < n_ops and attempts < n_ops * 8:
         attempts += 1
-        kind = rng.choice(KINDS)
+        kind = rng.choice(kinds)
         gid = rng.randrange(cluster.n_groups)
         at = _round(rng.uniform(lo, hi))
-        if kind == "crash_group":
+        if kind in CHURN_KINDS:
+            if churn_left <= 0 or gid in crashed_groups:
+                continue
+            op = _draw_churn_op(
+                rng, kind, gid, at, by_group[gid], config,
+                victims, departed, departures, joins, moved, degraded, resized,
+            )
+            if op is None:
+                continue
+            churn_left -= 1
+            ops.append(op)
+        elif kind == "crash_group":
             if gid in crashed_groups or len(crashed_groups) >= cluster.f_g:
                 continue
             crashed_groups.add(gid)
             ops.append(FaultOp(kind="crash_group", at=at, gid=gid))
         elif kind in ("crash_node", "byzantine"):
             group = by_group[gid]
-            budget = (group.n_nodes - 1) // 3
+            active = group.n_nodes - departures[gid]
+            budget = (active - 1) // 3
             if gid in crashed_groups or len(victims[gid]) >= budget:
                 continue
             candidates = [
-                i for i in range(1, group.n_nodes) if i not in victims[gid]
+                i
+                for i in range(1, group.n_nodes)
+                if i not in victims[gid] and i not in departed[gid]
             ]
             if not candidates:
                 continue
@@ -221,3 +318,72 @@ def generate_schedule(
             )
     ops.sort(key=lambda op: (op.at, op.kind, op.gid, op.index))
     return FaultSchedule(tuple(ops))
+
+
+def _draw_churn_op(
+    rng: random.Random,
+    kind: str,
+    gid: int,
+    at: float,
+    group,
+    config: ScenarioConfig,
+    victims,
+    departed,
+    departures,
+    joins,
+    moved,
+    degraded,
+    resized,
+):
+    """One churn draw, or None when the op would exceed its budget.
+
+    Mutates the budget trackers only when the op is accepted.
+    """
+    if kind == "join":
+        if joins[gid] >= 2:
+            return None
+        joins[gid] += 1
+        return FaultOp(kind="join", at=at, gid=gid)
+    if kind == "leave":
+        active_after = group.n_nodes - departures[gid] - 1
+        if active_after < 4 or len(victims[gid]) > (active_after - 1) // 3:
+            return None
+        candidates = [
+            i
+            for i in range(group.n_nodes)
+            if i not in departed[gid] and i not in victims[gid]
+        ]
+        if not candidates:
+            return None
+        index = rng.choice(candidates)
+        departed[gid].add(index)
+        departures[gid] += 1
+        return FaultOp(kind="leave", at=at, gid=gid, index=index)
+    if kind == "leader_move":
+        if gid in moved:
+            return None
+        moved.add(gid)
+        # index -1: the stage picks the least-backlogged live member.
+        return FaultOp(kind="leader_move", at=at, gid=gid)
+    if kind == "degrade_region":
+        if gid in degraded:
+            return None
+        degraded.add(gid)
+        length = rng.uniform(0.05, config.max_partition)
+        bandwidth = rng.uniform(*config.slow_bandwidth)
+        return FaultOp(
+            kind="degrade_region",
+            at=at,
+            gid=gid,
+            until=_round(at + length),
+            bandwidth=round(bandwidth, 1),
+        )
+    if kind == "group_resize":
+        if gid in resized:
+            return None
+        resized.add(gid)
+        # Grow by one over the post-departure size: never shrinks the
+        # group below what the leave budget already guaranteed.
+        target = group.n_nodes - departures[gid] + 1
+        return FaultOp(kind="group_resize", at=at, gid=gid, count=target)
+    return None

@@ -24,6 +24,8 @@ from repro.protocols.runtime.events import (
     EventBus,
     FaultInjected,
     ProposalGated,
+    ReconfigApplied,
+    ReconfigHandoff,
     ValueCertified,
 )
 
@@ -39,6 +41,8 @@ _RECORDED = {
     ValueCertified: "certified",
     FaultInjected: "fault",
     ProposalGated: "gated",
+    ReconfigApplied: "reconfig",
+    ReconfigHandoff: "handoff",
 }
 
 

@@ -91,6 +91,19 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--groups", type=int, default=None)
     check.add_argument("--nodes", type=int, default=None, help="nodes per group")
     check.add_argument(
+        "--churn",
+        action="store_true",
+        help="extend the fault grammar with reconfiguration ops "
+        "(join, leave, leader move, region degrade, group resize); "
+        "defaults --nodes to 5 so leaves keep quorums viable",
+    )
+    check.add_argument(
+        "--max-churn-ops",
+        type=int,
+        default=None,
+        help="cap on churn ops per generated schedule (with --churn)",
+    )
+    check.add_argument(
         "--trace-dir",
         default="check-traces",
         help="directory for violation traces (JSONL)",
@@ -112,6 +125,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="replay a recorded trace instead of sweeping; exit 0 iff "
         "the violation reproduces identically",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="reconfiguration recovery benchmark: goodput dip depth and "
+        "time-to-recovery across a leader move and a node join",
+    )
+    bench.add_argument("--seed", type=int, default=2)
+    bench.add_argument(
+        "--scenario",
+        choices=("leader-move", "node-join", "all"),
+        default="all",
+    )
+    bench.add_argument(
+        "--record",
+        metavar="RESULTS_JSON",
+        default=None,
+        help="merge the rows into a results JSON file "
+        "(e.g. benchmarks/results.json)",
     )
 
     perf = sub.add_parser(
@@ -269,21 +301,32 @@ def cmd_check(args: argparse.Namespace) -> int:
     # Imported lazily: the checker pulls in the whole runtime and is only
     # needed by this subcommand.
     from repro.check import CheckConfig, explore, replay_trace
+    from repro.check.scenarios import ScenarioConfig
 
     if args.replay is not None:
         reproduced, result = replay_trace(Path(args.replay), log=print)
         return 0 if reproduced else 1
 
+    nodes = args.nodes
+    if args.churn and nodes is None:
+        # Churn leaves must keep the surviving quorum viable; 5-node
+        # groups leave room for one graceful departure.
+        nodes = 5
     overrides = {
         key: value
         for key, value in (
             ("duration", args.duration),
             ("offered_load", args.load),
             ("n_groups", args.groups),
-            ("nodes_per_group", args.nodes),
+            ("nodes_per_group", nodes),
         )
         if value is not None
     }
+    if args.churn:
+        scenario_kw = {"churn": True}
+        if args.max_churn_ops is not None:
+            scenario_kw["max_churn_ops"] = args.max_churn_ops
+        overrides["scenario"] = ScenarioConfig(**scenario_kw)
     config = CheckConfig(**overrides)
     protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
     results = explore(
@@ -306,6 +349,49 @@ def cmd_check(args: argparse.Namespace) -> int:
         print("expected a violation (sensitivity check) but none was found")
         return 1
     return 1 if violating else 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    # Imported lazily: the recovery bench pulls in the whole runtime.
+    import json
+
+    from repro.bench.reconfig import SCENARIOS, run_recovery
+
+    scenarios = SCENARIOS if args.scenario == "all" else (args.scenario,)
+    results = [run_recovery(s, seed=args.seed) for s in scenarios]
+    print(
+        format_table(
+            ["scenario", "steady_tps", "dip_tps", "dip_ratio",
+             "recovery_s", "recovered"],
+            [r.row() for r in results],
+            title=f"reconfiguration recovery (seed {args.seed})",
+        )
+    )
+    for result in results:
+        marks = ", ".join(
+            f"{kind}@{at:.2f}s(e{epoch})" for at, kind, epoch in result.events
+        )
+        print(f"  {result.scenario}: {marks or 'no reconfig events'}")
+    failed = [r for r in results if not r.recovered or r.min_bin_tps <= 0]
+    if args.record is not None:
+        path = Path(args.record)
+        data = {}
+        if path.exists():
+            try:
+                data = json.loads(path.read_text())
+            except json.JSONDecodeError:
+                data = {}
+        data["reconfig_recovery"] = [r.to_jsonable() for r in results]
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"  recorded under 'reconfig_recovery' in {path}")
+    if failed:
+        for result in failed:
+            print(
+                f"FAILED: {result.scenario} did not recover to "
+                f"90% of steady (or goodput hit zero)"
+            )
+        return 1
+    return 0
 
 
 def cmd_perf(args: argparse.Namespace) -> int:
@@ -457,6 +543,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": cmd_run,
         "compare": cmd_compare,
         "check": cmd_check,
+        "bench": cmd_bench,
         "perf": cmd_perf,
         "trace": cmd_trace,
     }

@@ -19,6 +19,7 @@ certificate"):
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
@@ -59,6 +60,15 @@ class PbftConfig:
     members: Tuple[NodeAddress, ...]
     checkpoint_interval: int = 128
     view_change_timeout: float = 1.0
+    #: Successive view changes without progress back off geometrically …
+    view_change_backoff: float = 2.0
+    #: … up to this cap (seconds, before jitter).
+    view_change_timeout_max: float = 8.0
+    #: Fractional jitter on backed-off timeouts, drawn from a per-replica
+    #: seeded stream so replicas desynchronize instead of thrashing in
+    #: lockstep under sustained leader loss. The *first* timeout of a
+    #: round is exact (no jitter), so fault-free runs are unchanged.
+    view_change_jitter: float = 0.1
     #: Label namespacing signatures when one node runs several instances.
     instance: str = "pbft"
 
@@ -139,6 +149,15 @@ class PbftReplica:
         self._in_view_change = False
         self._view_changes: Dict[int, Dict[NodeAddress, ViewChange]] = {}
         self._vc_timer = None
+        #: Consecutive view changes without execution progress; indexes the
+        #: exponential backoff schedule.
+        self._vc_round = 0
+        self._pending_view = 0
+        # Jitter must be deterministic per (instance, replica) and stable
+        # across processes: seed from a cryptographic digest, never from
+        # hash() (PYTHONHASHSEED) or wall-clock state.
+        seed_material = digest(f"vc:{config.instance}:{node.addr!r}".encode())
+        self._vc_rng = random.Random(int.from_bytes(seed_material[:8], "big"))
 
         node.on(PrePrepare, self._on_pre_prepare_msg)
         node.on(Prepare, self._on_prepare_msg)
@@ -363,10 +382,28 @@ class PbftReplica:
     # View changes
     # ------------------------------------------------------------------
 
+    def view_change_delay(self) -> float:
+        """Current view-change timeout: exponential backoff plus jitter.
+
+        Round 0 (no recent view change) is exactly
+        ``view_change_timeout`` so fault-free timing is unchanged; each
+        further round multiplies by ``view_change_backoff`` up to
+        ``view_change_timeout_max``, then adds seeded multiplicative
+        jitter so replicas spread out instead of re-suspecting the new
+        leader in lockstep.
+        """
+        base = self.config.view_change_timeout * (
+            self.config.view_change_backoff**self._vc_round
+        )
+        base = min(base, self.config.view_change_timeout_max)
+        if self._vc_round == 0:
+            return base
+        return base * (1.0 + self.config.view_change_jitter * self._vc_rng.random())
+
     def _arm_view_change_timer(self) -> None:
         if self._vc_timer is None or not self._vc_timer.active:
             self._vc_timer = self.node.set_timer(
-                self.config.view_change_timeout, self._on_progress_timeout
+                self.view_change_delay(), self._on_progress_timeout
             )
 
     def _disarm_view_change_timer_if_idle(self) -> None:
@@ -374,8 +411,11 @@ class PbftReplica:
             not slot.committed and slot.pre_prepare is not None
             for slot in self.slots.values()
         )
-        if not pending and self._vc_timer is not None and self._vc_timer.active:
-            self._vc_timer.cancel()
+        if not pending:
+            # Execution progress: the backoff schedule starts over.
+            self._vc_round = 0
+            if self._vc_timer is not None and self._vc_timer.active:
+                self._vc_timer.cancel()
 
     def _on_progress_timeout(self) -> None:
         pending = any(
@@ -392,7 +432,18 @@ class PbftReplica:
     def _start_view_change(self, new_view: int) -> None:
         if new_view <= self.view and not self._in_view_change:
             return
+        if self._in_view_change and new_view <= self._pending_view:
+            return  # already campaigning for this view or a later one
         self._in_view_change = True
+        self._pending_view = new_view
+        self._vc_round += 1
+        # Escalation: if this view change itself stalls (the prospective
+        # leader is also down), time out — with backoff — into view+1.
+        if self._vc_timer is not None and self._vc_timer.active:
+            self._vc_timer.cancel()
+        self._vc_timer = self.node.set_timer(
+            self.view_change_delay(), self._on_view_change_stalled
+        )
         prepared_proofs = tuple(
             (slot.seq, slot.value_digest)
             for slot in sorted(self.slots.values(), key=lambda s: s.seq)
@@ -478,9 +529,17 @@ class PbftReplica:
             return
         self._adopt_new_view(nv)
 
+    def _on_view_change_stalled(self) -> None:
+        if self._in_view_change:
+            self._start_view_change(self._pending_view + 1)
+
     def _adopt_new_view(self, nv: NewView) -> None:
         self.view = nv.new_view
         self._in_view_change = False
+        self._pending_view = nv.new_view
+        self._vc_round = 0
+        if self._vc_timer is not None and self._vc_timer.active:
+            self._vc_timer.cancel()
         self._view_changes = {
             v: votes for v, votes in self._view_changes.items() if v > nv.new_view
         }
@@ -550,6 +609,10 @@ class ModeledPbftGroup:
         self.network = nodes[0].network
         self.leader_index = 0
         self.next_seq = 0
+        #: Membership epoch stamped into certificates; the reconfiguration
+        #: stage bumps this on every join/leave/leader move so validators
+        #: judge each certificate against the view it was formed in.
+        self.epoch = 0
         self._subscribers: Dict[NodeAddress, CommitCallback] = {}
         for node in self.nodes:
             keystore.register(node.addr)
@@ -578,6 +641,41 @@ class ModeledPbftGroup:
             if not self.leader.crashed:
                 return
         raise RuntimeError("no live member to lead the group")
+
+    def set_leader(self, node: SimNode) -> None:
+        """Move leadership to a specific member (deliberate re-placement)."""
+        self.leader_index = self.nodes.index(node)
+
+    def add_member(self, node: SimNode) -> None:
+        """Admit a caught-up joiner; quorum recomputes from the new size.
+
+        The current leader keeps its role even if the joiner sorts ahead
+        of it in address order.
+        """
+        if node in self.nodes:
+            return
+        leader = self.leader
+        self.keystore.register(node.addr)
+        node.cpu.rate = self.costs.cpu_cores
+        self.nodes.append(node)
+        self.nodes.sort(key=lambda n: n.addr)
+        self.leader_index = self.nodes.index(leader)
+
+    def remove_member(self, node: SimNode) -> None:
+        """Retire a member. The group may shrink below the 3f+1 floor of
+        construction; quorum recomputes and liveness degrades gracefully
+        (``propose`` stalls only when live members drop below quorum)."""
+        if node not in self.nodes:
+            return
+        leader = self.leader
+        if leader is node:
+            # Hand leadership to the next live member before departing.
+            survivors = [n for n in self.nodes if n is not node]
+            live = [n for n in survivors if not n.crashed]
+            leader = (live or survivors or [node])[0]
+        self.nodes.remove(node)
+        self._subscribers.pop(node.addr, None)
+        self.leader_index = self.nodes.index(leader) if self.nodes else 0
 
     def subscribe(self, addr: NodeAddress, callback: CommitCallback) -> None:
         """Register a per-node commit callback."""
@@ -633,7 +731,7 @@ class ModeledPbftGroup:
             node.addr: self.keystore.sign_as(node.addr, statement)
             for node in self.nodes[: self.quorum]
         }
-        return QuorumCertificate.assemble(statement, signatures)
+        return QuorumCertificate.assemble(statement, signatures, epoch=self.epoch)
 
     def _deliver_commit(
         self, node: SimNode, seq: int, value: Any, cert: QuorumCertificate

@@ -167,6 +167,35 @@ class _TransportBase:
     def group_size(self, gid: int) -> int:
         return len(self.members[gid])
 
+    # -- membership churn --------------------------------------------------
+
+    def _attach_node_handlers(self, node: "SimNode") -> None:
+        """Register this transport's message handlers on one node.
+
+        Subclasses that registered handlers in ``__init__`` override this
+        so nodes joining mid-run get the same wiring.
+        """
+
+    def add_member(self, gid: int, node: "SimNode") -> None:
+        """Admit a node into ``gid``'s sender/receiver set mid-run.
+
+        Transfer plans re-derive from group sizes (``plan_for`` caches by
+        size), so the plan geometry follows membership automatically.
+        """
+        nodes = self.members[gid]
+        if node in nodes:
+            return
+        nodes.append(node)
+        nodes.sort(key=lambda n: n.addr)
+        self._attach_node_handlers(node)
+
+    def remove_member(self, gid: int, node: "SimNode") -> None:
+        """Retire a node: it stops sending and receiving shares."""
+        try:
+            self.members[gid].remove(node)
+        except ValueError:
+            pass
+
     def faulty_bound(self, gid: int) -> int:
         return (self.group_size(gid) - 1) // 3
 
@@ -203,8 +232,11 @@ class LeaderUnicastTransport(_TransportBase):
         super().__init__(*args, **kwargs)
         for nodes in self.members.values():
             for node in nodes:
-                node.on(EntryMessage, self._make_wan_handler(node))
-                node.on(LocalEntryShare, self._make_local_handler(node))
+                self._attach_node_handlers(node)
+
+    def _attach_node_handlers(self, node: "SimNode") -> None:
+        node.on(EntryMessage, self._make_wan_handler(node))
+        node.on(LocalEntryShare, self._make_local_handler(node))
 
     def replicate(
         self, entry: LogEntry, group_nodes: List["SimNode"], leader: "SimNode"
@@ -336,8 +368,11 @@ class EncodedBijectiveTransport(_TransportBase):
         self._sim_state: Dict[Tuple[object, EntryId], "_SimRebuildState"] = {}
         for nodes in self.members.values():
             for node in nodes:
-                node.on(ChunkMessage, self._make_wan_handler(node))
-                node.on(LocalChunkShare, self._make_local_handler(node))
+                self._attach_node_handlers(node)
+
+    def _attach_node_handlers(self, node: "SimNode") -> None:
+        node.on(ChunkMessage, self._make_wan_handler(node))
+        node.on(LocalChunkShare, self._make_local_handler(node))
 
     # -- plan/codec caches ------------------------------------------------
 
@@ -416,10 +451,24 @@ class EncodedBijectiveTransport(_TransportBase):
                 self._count("chunks_skipped_stale")
                 return
             genuine = not sender.byzantine
-            sender_index = sender.addr.index
+            # Plan positions are list positions, which coincide with
+            # address indices only while membership is static. Re-resolve
+            # at send time: a sender that left since encoding skips its
+            # shares, and shares aimed past a shrunken destination are
+            # dropped (the parity budget and the global-phase entry-push
+            # retry absorb both — graceful degradation, not an error).
+            src_members = self.members[sender.addr.group]
+            if sender not in src_members:
+                self._count("chunks_skipped_departed")
+                return
+            sender_index = src_members.index(sender)
             cert_sent: Set[object] = set()
+            receivers = self.members[dst_gid]
             for assignment in plan.chunks_sent_by(sender_index):
-                receiver = self.members[dst_gid][assignment.receiver]
+                if assignment.receiver >= len(receivers):
+                    self._count("chunks_skipped_departed")
+                    continue
+                receiver = receivers[assignment.receiver]
                 if self.coding == "real":
                     chunks, tree = encodings[genuine]
                     data = chunks[assignment.chunk]

@@ -22,19 +22,28 @@ class QuorumCertificate:
 
     ``statement`` is the exact byte string signed (typically
     ``b"commit:" + entry_digest``); ``signatures`` maps signer identity to
-    its signature.
+    its signature. ``epoch`` records the membership epoch the certificate
+    was formed in: under live reconfiguration the quorum size and the set
+    of legitimate signers both change over time, so a certificate must be
+    validated against the membership view of *its* epoch, not whatever
+    view is current when it is checked.
     """
 
     statement: bytes
     signatures: Tuple[Tuple[HashableKey, Signature], ...]
+    epoch: int = 0
 
     @staticmethod
     def assemble(
-        statement: bytes, signatures: Dict[HashableKey, Signature]
+        statement: bytes,
+        signatures: Dict[HashableKey, Signature],
+        epoch: int = 0,
     ) -> "QuorumCertificate":
         """Build a certificate from a signer->signature mapping."""
         ordered = tuple(sorted(signatures.items(), key=lambda kv: repr(kv[0])))
-        return QuorumCertificate(statement=statement, signatures=ordered)
+        return QuorumCertificate(
+            statement=statement, signatures=ordered, epoch=epoch
+        )
 
     @property
     def signer_count(self) -> int:

@@ -7,7 +7,7 @@ Two serialisations of one :class:`~repro.obs.tracer.Trace`:
   ``M`` metadata rows name processes/threads, ``X`` complete events
   carry spans (``ts``/``dur`` in microseconds of *simulated* time),
   ``C`` counter events carry telemetry series, ``i`` instants mark
-  injected faults.
+  injected faults and applied reconfigurations (epoch markers).
 * :func:`export_span_jsonl` writes one JSON object per span, flat, with
   ``parent_id`` references — sorted keys and fixed separators, so two
   identically-seeded runs produce byte-identical files (the determinism
@@ -32,6 +32,7 @@ from repro.obs.spans import Span
 PID_ENTRIES_BASE = 1
 PID_NETWORK_BASE = 101
 PID_FAULTS = 901
+PID_RECONFIG = 911
 PID_TELEMETRY = 951
 
 
@@ -138,6 +139,24 @@ def chrome_trace_doc(trace) -> Dict[str, Any]:
                     "s": "g",
                     "ts": _us(span.start),
                     "pid": PID_FAULTS,
+                    "tid": 1,
+                    "args": dict(span.args),
+                }
+            )
+
+    # --- reconfiguration markers: global instants with epoch args -------
+    reconfig_spans = getattr(trace, "reconfig_spans", None)
+    if reconfig_spans:
+        events.append(_meta("process_name", PID_RECONFIG, 0, "reconfig"))
+        for span in reconfig_spans:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "reconfig",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": _us(span.start),
+                    "pid": PID_RECONFIG,
                     "tid": 1,
                     "args": dict(span.args),
                 }

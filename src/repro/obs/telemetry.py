@@ -13,6 +13,7 @@ Naming convention (slash-separated, stable across runs)::
     node/N0.1/wan_up.inflight_bytes  bytes not yet serialized onto the wire
     node/N0.1/wan_up.utilization     busy fraction of the last interval
     group/g0/pbft_view               local PBFT leader index (view stand-in)
+    group/g0/epoch                   membership epoch of the group's view
     group/g0/wan_backlog_s           admission-gate snapshot (rep's NIC)
     group/g0/cpu_backlog_s           admission-gate snapshot (rep's CPU)
     group/g0/gated_total             cumulative held proposals
@@ -102,6 +103,7 @@ class NicSampler:
                 if self.interval > 0:
                     util = min(1.0, (queue.busy_time - last) / self.interval)
                     registry.record(f"{prefix}.utilization", now, util)
+        membership = getattr(deployment, "membership", None)
         for gid in sorted(deployment.groups):
             group = deployment.groups[gid]
             registry.record(
@@ -109,4 +111,10 @@ class NicSampler:
                 now,
                 float(getattr(group.pbft, "leader_index", 0)),
             )
+            if membership is not None:
+                registry.record(
+                    f"group/g{gid}/epoch",
+                    now,
+                    float(membership.view_of(gid).epoch),
+                )
         self.samples_taken += 1

@@ -46,6 +46,7 @@ from repro.protocols.runtime.events import (
     FaultInjected,
     ProposalGated,
     QueueDepthsSampled,
+    ReconfigApplied,
     ValueCertified,
 )
 
@@ -91,11 +92,18 @@ class Trace:
     message_spans: List[Span]
     fault_spans: List[Span]
     telemetry: TelemetryRegistry
+    reconfig_spans: List[Span] = field(default_factory=list)
     meta: Dict[str, Any] = field(default_factory=dict)
 
     def spans(self) -> List[Span]:
-        """Every span, deterministic order: entries, messages, faults."""
-        return flatten(self.entry_roots) + self.message_spans + self.fault_spans
+        """Every span, deterministic order: entries, messages, faults,
+        reconfigurations."""
+        return (
+            flatten(self.entry_roots)
+            + self.message_spans
+            + self.fault_spans
+            + self.reconfig_spans
+        )
 
     def root_for(self, entry_id: EntryId) -> Optional[Span]:
         name = f"entry g{entry_id.gid}:{entry_id.seq}"
@@ -124,6 +132,7 @@ class Tracer:
         self._entries: Dict[EntryId, _EntryRecord] = {}
         self._messages: List[Tuple] = []
         self._faults: List[FaultInjected] = []
+        self._reconfigs: List[ReconfigApplied] = []
         self._gated: Dict[Tuple[int, str], int] = {}
         self._gated_total: Dict[int, int] = {}
         self.dropped_message_spans = 0
@@ -147,6 +156,7 @@ class Tracer:
         bus.subscribe(QueueDepthsSampled, tracer._on_queue_depths)
         bus.subscribe(ProposalGated, tracer._on_gated)
         bus.subscribe(FaultInjected, tracer._faults.append)
+        bus.subscribe(ReconfigApplied, tracer._reconfigs.append)
         deployment.network.transmit_hook = tracer._on_transmit
         if tracer.telemetry_interval > 0:
             tracer.sampler.interval = tracer.telemetry_interval
@@ -276,6 +286,24 @@ class Tracer:
             )
             for event in self._faults
         ]
+        reconfigs = [
+            Span(
+                span_id=new_id(),
+                name=f"reconfig:{event.kind}",
+                cat="reconfig",
+                start=event.at,
+                end=event.at,
+                track="reconfig",
+                args={
+                    "kind": event.kind,
+                    "gid": event.gid,
+                    "epoch": event.epoch,
+                    "index": event.index,
+                    "detail": event.detail,
+                },
+            )
+            for event in self._reconfigs
+        ]
         meta = {
             "n_groups": self.deployment.n_groups,
             "seed": self.deployment.seed,
@@ -293,6 +321,7 @@ class Tracer:
             message_spans=messages,
             fault_spans=faults,
             telemetry=self.telemetry,
+            reconfig_spans=reconfigs,
             meta=meta,
         )
 

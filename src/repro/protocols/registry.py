@@ -124,7 +124,7 @@ _FACTORIES = {
 
 
 #: StageOverrides factory slots accepted as keyword overrides.
-_STAGE_SLOTS = ("global_phase", "transport", "orderer")
+_STAGE_SLOTS = ("global_phase", "transport", "orderer", "reconfig")
 
 
 def protocol_by_name(name: str, **overrides) -> ProtocolSpec:

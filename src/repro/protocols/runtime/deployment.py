@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 
 from repro.bench.metrics import RunMetrics
 from repro.core.entry import EntryId, LogEntry
+from repro.core.membership import MembershipLog
 from repro.core.replication import DEFAULT_CERT_SIZE
 from repro.costs import CostModel
 from repro.crypto.keystore import KeyStore
@@ -202,6 +203,21 @@ class GeoDeployment:
         # Failure injection.
         self.faults = FaultInjector(self)
 
+        # Membership epochs + runtime reconfiguration. The log is pure
+        # bookkeeping (no RNG, no timers), so building it always keeps
+        # unchurned runs bit-identical.
+        self.membership = MembershipLog()
+        for gid, group in self.groups.items():
+            self.membership.genesis(
+                gid, [m.addr for m in group.members], group.pbft.leader.addr
+            )
+        if spec.stages is not None and spec.stages.reconfig is not None:
+            self.reconfig = spec.stages.reconfig(self)
+        else:
+            from repro.protocols.runtime.reconfig import ReconfigStage
+
+            self.reconfig = ReconfigStage(self)
+
         # Timers: batching, then each phase's periodic work.
         for gid, group in self.groups.items():
             offset = (gid + 1) * 1e-4  # desynchronise group timers slightly
@@ -276,6 +292,29 @@ class GeoDeployment:
 
     def partition_group_at(self, gid: int, at: float, until: float) -> None:
         self.faults.partition_group_at(gid, at, until)
+
+    # ------------------------------------------------------------------
+    # Reconfiguration (delegates to the reconfig stage)
+    # ------------------------------------------------------------------
+
+    def join_node_at(self, gid: int, at: float) -> None:
+        self.reconfig.join_node_at(gid, at)
+
+    def leave_node_at(self, gid: int, index: int, at: float) -> None:
+        self.reconfig.leave_node_at(gid, index, at)
+
+    def resize_group_at(self, gid: int, target: int, at: float) -> None:
+        self.reconfig.resize_group_at(gid, target, at)
+
+    def move_leader_at(
+        self, gid: int, at: float, to_index: Optional[int] = None
+    ) -> None:
+        self.reconfig.move_leader_at(gid, at, to_index)
+
+    def degrade_region_at(
+        self, gid: int, at: float, until: float, bandwidth: float
+    ) -> None:
+        self.reconfig.degrade_region_at(gid, at, until, bandwidth)
 
     # ------------------------------------------------------------------
     # Run

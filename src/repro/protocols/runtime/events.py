@@ -110,6 +110,47 @@ class FaultInjected:
 
 
 @dataclass(frozen=True)
+class ReconfigApplied:
+    """The reconfiguration stage applied a membership/placement change.
+
+    ``epoch`` is the deployment-wide membership epoch *after* the change
+    (unchanged for QoS-only ops like region degradation). Publishing on
+    the bus is what keeps churn schedules bit-deterministic and
+    traceable: tracers render these as instant markers, the checker
+    audits epoch monotonicity from them.
+    """
+
+    at: float
+    # "join_started" | "join" | "join_failed" | "leave" | "leave_noop" |
+    # "leader_move" | "leader_move_noop" | "resize" | "degrade_region" |
+    # "restore_region"
+    kind: str
+    gid: int
+    epoch: int
+    index: int = -1
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ReconfigHandoff:
+    """Leadership moved; in-flight global-phase work was handed across.
+
+    ``carried`` lists sequence numbers whose accept consensus was already
+    under way (they ride out the transition untouched); ``reproposed``
+    lists sequences the new configuration re-proposes promptly instead of
+    waiting out the retry timer.
+    """
+
+    at: float
+    gid: int
+    epoch: int
+    from_index: int
+    to_index: int
+    carried: Tuple[int, ...]
+    reproposed: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
 class EntryReplicationStarted:
     """The dissemination stage began shipping an entry to remote groups.
 

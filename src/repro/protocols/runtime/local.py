@@ -33,6 +33,10 @@ class LocalConsensusStage:
         for node in group.members:
             self.pbft.subscribe(node.addr, self._make_callback(node))
 
+    def attach_member(self, node) -> None:
+        """Wire a node that joined after construction into commit dispatch."""
+        self.pbft.subscribe(node.addr, self._make_callback(node))
+
     @property
     def leader(self):
         return self.pbft.leader
@@ -76,6 +80,15 @@ class LocalConsensusStage:
         group = self.group
         if not group.is_rep(node):
             return
+        # Quorum is epoch-scoped: a certificate formed just before a
+        # membership change must be judged against the quorum of the
+        # epoch it was formed in, not whatever the group's size is when
+        # the commit is delivered.
+        quorum = self.pbft.quorum
+        membership = getattr(group.deployment, "membership", None)
+        cert_epoch = getattr(cert, "epoch", 0)
+        if membership is not None and cert_epoch < membership.epoch:
+            quorum = membership.quorum_at(group.gid, cert_epoch)
         group.deployment.bus.publish(
             ValueCertified(
                 gid=group.gid,
@@ -83,7 +96,7 @@ class LocalConsensusStage:
                 kind=kind,
                 entry_id=entry_id,
                 signer_count=getattr(cert, "signer_count", 0),
-                quorum=self.pbft.quorum,
+                quorum=quorum,
                 certificate=cert,
             )
         )

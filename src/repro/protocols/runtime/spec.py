@@ -27,11 +27,16 @@ class StageOverrides:
         :mod:`repro.core.replication` (``replicate`` + ``plan_for``).
     ``orderer(node, deployment, on_execute) -> orderer``
         Returns the per-observer ordering engine.
+    ``reconfig(deployment) -> ReconfigStage``
+        Returns the runtime-reconfiguration stage (membership epochs,
+        join/leave, leader re-placement). Defaults to
+        :class:`~repro.protocols.runtime.reconfig.ReconfigStage`.
     """
 
     global_phase: Optional[Callable[..., Any]] = None
     transport: Optional[Callable[..., Any]] = None
     orderer: Optional[Callable[..., Any]] = None
+    reconfig: Optional[Callable[..., Any]] = None
 
 
 @dataclass(frozen=True)

@@ -345,3 +345,52 @@ class TestEquivocatingLeader:
             for entries in h.committed.values()
             for _, payload, _ in entries
         )
+
+
+class TestViewChangeBackoff:
+    """Pins the exponential backoff + seeded jitter schedule for view
+    changes: round 0 exact (fault-free timing unchanged), later rounds
+    multiply up to the cap, jitter deterministic per replica address."""
+
+    def test_first_round_is_exact(self):
+        h = Harness()
+        replica = h.replicas[1]
+        assert replica.view_change_delay() == replica.config.view_change_timeout
+
+    def test_backoff_grows_to_cap_with_bounded_jitter(self):
+        h = Harness()
+        replica = h.replicas[1]
+        cfg = replica.config
+        for round_ in range(1, 7):
+            replica._vc_round = round_
+            delay = replica.view_change_delay()
+            base = min(
+                cfg.view_change_timeout * cfg.view_change_backoff**round_,
+                cfg.view_change_timeout_max,
+            )
+            assert base <= delay <= base * (1 + cfg.view_change_jitter) + 1e-12
+        # Deep rounds saturate at the cap (plus at most one jitter).
+        replica._vc_round = 40
+        assert replica.view_change_delay() <= cfg.view_change_timeout_max * (
+            1 + cfg.view_change_jitter
+        )
+
+    def test_jitter_is_deterministic_per_replica(self):
+        h1, h2 = Harness(), Harness()
+        for r1, r2 in zip(h1.replicas, h2.replicas):
+            r1._vc_round = r2._vc_round = 3
+            assert r1.view_change_delay() == r2.view_change_delay()
+
+    def test_jitter_diverges_across_replicas(self):
+        h = Harness()
+        for replica in h.replicas:
+            replica._vc_round = 3
+        delays = {replica.view_change_delay() for replica in h.replicas}
+        assert len(delays) == len(h.replicas)
+
+    def test_progress_resets_the_backoff_round(self):
+        h = Harness()
+        h.leader.propose(Value("v0"))
+        h.sim.run(until=0.5)
+        for replica in h.replicas:
+            assert replica._vc_round == 0

@@ -1,0 +1,231 @@
+"""Tests for runtime reconfiguration: the membership log, modeled state
+transfer, and the ReconfigStage's join / leave / leader-move / degrade
+operations on a live deployment."""
+
+import pytest
+
+from repro.core.membership import MembershipLog
+from repro.core.state_transfer import (
+    SNAPSHOT_OVERHEAD_BYTES,
+    plan_transfer,
+    snapshot_bytes,
+)
+from repro.protocols import GeoDeployment, protocol_by_name
+from repro.protocols.runtime.events import ReconfigApplied, ReconfigHandoff
+from repro.sim.network import NodeAddress
+from repro.topology import scaled_cluster
+from repro.workloads import make_workload
+
+
+def make_deployment(nodes_per_group=5, seed=3, load=1200.0):
+    return GeoDeployment(
+        scaled_cluster(n_groups=3, nodes_per_group=nodes_per_group),
+        protocol_by_name("massbft"),
+        make_workload("ycsb-a"),
+        offered_load=load,
+        seed=seed,
+    )
+
+
+def collect_reconfigs(deployment):
+    events = []
+    deployment.bus.subscribe(ReconfigApplied, events.append)
+    return events
+
+
+class TestMembershipLog:
+    def addrs(self, n, gid=0):
+        return [NodeAddress(gid, i) for i in range(n)]
+
+    def test_genesis_is_epoch_zero(self):
+        log = MembershipLog()
+        view = log.genesis(0, self.addrs(4), NodeAddress(0, 0))
+        assert view.epoch == 0 and view.n == 4 and view.quorum == 3
+        assert log.view_of(0) is view
+
+    def test_record_advances_the_global_epoch(self):
+        log = MembershipLog()
+        log.genesis(0, self.addrs(4), NodeAddress(0, 0))
+        log.genesis(1, self.addrs(4, gid=1), NodeAddress(1, 0))
+        v1 = log.record(0, self.addrs(5), NodeAddress(0, 0), 1.0, "join")
+        v2 = log.record(1, self.addrs(5, gid=1), NodeAddress(1, 1), 2.0, "move")
+        assert (v1.epoch, v2.epoch) == (1, 2)
+        assert log.epoch == 2
+
+    def test_at_epoch_resolves_the_forming_view(self):
+        log = MembershipLog()
+        log.genesis(0, self.addrs(4), NodeAddress(0, 0))
+        log.record(0, self.addrs(7), NodeAddress(0, 0), 1.0, "grow")
+        # Epoch 0 certificates validate against the 4-member view even
+        # after the group grew; the current view is the 7-member one.
+        assert log.at_epoch(0, 0).n == 4
+        assert log.quorum_at(0, 0) == 3
+        assert log.at_epoch(0, 1).n == 7
+        assert log.quorum_at(0, 99) == 5
+        assert len(log.members_at(0, 0)) == 4
+
+    def test_epochs_interleave_across_groups(self):
+        log = MembershipLog()
+        log.genesis(0, self.addrs(4), NodeAddress(0, 0))
+        log.genesis(1, self.addrs(4, gid=1), NodeAddress(1, 0))
+        log.record(1, self.addrs(5, gid=1), NodeAddress(1, 0), 1.0, "a")
+        log.record(0, self.addrs(5), NodeAddress(0, 0), 2.0, "b")
+        # Group 0's epoch-1 view is still its genesis (group 1 advanced
+        # the deployment epoch, group 0's membership was unchanged).
+        assert log.at_epoch(0, 1).n == 4
+        assert log.at_epoch(0, 2).n == 5
+
+
+class TestStateTransfer:
+    def test_snapshot_bytes_includes_overhead(self):
+        assert snapshot_bytes([100, 200]) == SNAPSHOT_OVERHEAD_BYTES + 300
+        assert snapshot_bytes([]) == SNAPSHOT_OVERHEAD_BYTES
+
+    def test_plan_splits_evenly_with_remainder_to_first(self):
+        sponsors = [NodeAddress(0, i) for i in range(3)]
+        plan = plan_transfer(sponsors, 1000)
+        sizes = dict(plan.slices)
+        assert sum(sizes.values()) == 1000
+        assert sizes[NodeAddress(0, 0)] == 334
+        assert sizes[NodeAddress(0, 1)] == sizes[NodeAddress(0, 2)] == 333
+        assert plan.sponsor_count == 3
+
+    def test_plan_requires_a_sponsor(self):
+        with pytest.raises(ValueError):
+            plan_transfer([], 1000)
+
+
+class TestJoin:
+    def test_join_grows_membership_and_quorum(self):
+        deployment = make_deployment(nodes_per_group=6)
+        events = collect_reconfigs(deployment)
+        group = deployment.groups[0]
+        assert group.pbft.quorum == 3  # n=6, f=1
+        deployment.join_node_at(0, 0.8)
+        deployment.run(duration=2.0)
+        assert len(group.members) == 7
+        assert group.pbft.quorum == 5  # n=7, f=2
+        view = deployment.membership.view_of(0)
+        assert view.n == 7 and view.epoch == 1
+        kinds = [e.kind for e in events]
+        assert kinds[:2] == ["join_started", "join"]
+        assert events[1].epoch == 1
+
+    def test_joiner_catches_up_before_promotion(self):
+        deployment = make_deployment()
+        started = {}
+
+        def on_event(event):
+            if event.kind == "join_started":
+                started["at"] = event.at
+            elif event.kind == "join":
+                started["promoted"] = event.at
+
+        deployment.bus.subscribe(ReconfigApplied, on_event)
+        deployment.join_node_at(0, 1.5)
+        deployment.run(duration=2.5)
+        # Promotion strictly after the transfer began: the joiner paid
+        # for the snapshot slices and the rebuild before voting.
+        assert started["promoted"] > started["at"]
+        joiner = deployment.groups[0].members[-1]
+        sponsor = deployment.groups[0].members[0]
+        assert sponsor.available_entries <= joiner.available_entries
+
+    def test_commits_continue_during_join(self):
+        deployment = make_deployment()
+        deployment.join_node_at(0, 0.8)
+        metrics = deployment.run(duration=2.0)
+        assert metrics.throughput > 0
+
+
+class TestLeave:
+    def test_leave_of_leader_hands_off(self):
+        deployment = make_deployment()
+        events = collect_reconfigs(deployment)
+        handoffs = []
+        deployment.bus.subscribe(ReconfigHandoff, handoffs.append)
+        group = deployment.groups[1]
+        leader_index = group.pbft.leader.index
+        deployment.leave_node_at(1, leader_index, 1.0)
+        deployment.run(duration=2.5)
+        assert len(group.members) == 4
+        assert group.pbft.leader.index != leader_index
+        assert [e.kind for e in events] == ["leave"]
+        assert deployment.membership.view_of(1).epoch == 1
+        assert handoffs and handoffs[0].from_index == leader_index
+
+    def test_leave_of_absent_node_is_a_noop(self):
+        deployment = make_deployment()
+        events = collect_reconfigs(deployment)
+        deployment.leave_node_at(0, 99, 1.0)
+        deployment.run(duration=1.5)
+        assert [e.kind for e in events] == ["leave_noop"]
+        assert deployment.membership.epoch == 0
+
+    def test_resize_grows_and_announces(self):
+        deployment = make_deployment()
+        events = collect_reconfigs(deployment)
+        deployment.resize_group_at(1, 6, 1.0)
+        deployment.run(duration=2.0)
+        assert len(deployment.groups[1].members) == 6
+        kinds = [e.kind for e in events]
+        assert kinds[0] == "resize" and "join" in kinds
+
+
+class TestLeaderMove:
+    def test_explicit_move_to_index(self):
+        deployment = make_deployment()
+        events = collect_reconfigs(deployment)
+        group = deployment.groups[2]
+        old = group.pbft.leader.index
+        target = next(
+            n.index for n in group.members if n.index != old
+        )
+        deployment.move_leader_at(2, 1.0, to_index=target)
+        deployment.run(duration=2.0)
+        assert group.pbft.leader.index == target
+        assert [e.kind for e in events] == ["leader_move"]
+        assert deployment.membership.view_of(2).leader.index == target
+
+    def test_telemetry_watch_moves_off_throttled_leader(self):
+        deployment = make_deployment(load=1500.0)
+        events = collect_reconfigs(deployment)
+        group = deployment.groups[0]
+        old = group.pbft.leader
+        deployment.reconfig.enable_leader_watch()
+        deployment.sim.schedule_at(
+            1.0,
+            lambda: deployment.network.set_node_bandwidth(old.addr, 2e6),
+        )
+        metrics = deployment.run(duration=3.0)
+        moves = [e for e in events if e.kind == "leader_move" and e.gid == 0]
+        assert moves, "leader watch never reacted to the NIC backlog"
+        assert group.pbft.leader is not old
+        assert metrics.throughput > 0
+
+
+class TestDegradeRegion:
+    def test_degrade_throttles_and_restores_without_epoch_bump(self):
+        deployment = make_deployment()
+        events = collect_reconfigs(deployment)
+        network = deployment.network
+        member = deployment.groups[0].members[1]
+        original = network._wan_up[member.addr].rate
+        deployment.degrade_region_at(0, 1.0, 1.5, 4e6)
+
+        probes = {}
+        deployment.sim.schedule_at(
+            1.2, lambda: probes.update(mid=network._wan_up[member.addr].rate)
+        )
+        deployment.run(duration=2.0)
+        assert probes["mid"] == 4e6
+        assert network._wan_up[member.addr].rate == original
+        kinds = [e.kind for e in events]
+        assert kinds == ["degrade_region", "restore_region"]
+        assert deployment.membership.epoch == 0  # QoS only: no new epoch
+
+    def test_commits_continue_while_degraded(self):
+        deployment = make_deployment()
+        deployment.degrade_region_at(0, 0.8, 1.6, 4e6)
+        metrics = deployment.run(duration=2.2)
+        assert metrics.throughput > 0
