@@ -55,6 +55,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--duration", type=float, default=2.0)
         p.add_argument("--warmup", type=float, default=0.5)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--kernel",
+            choices=("classic", "laned"),
+            default="classic",
+            help="event core: single heap loop, or per-group lanes with "
+            "conservative WAN sync (byte-identical outputs)",
+        )
+        p.add_argument(
+            "--lanes",
+            type=int,
+            default=None,
+            help="group-lane count for --kernel laned (default: one per group)",
+        )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="lane-to-worker partition for --kernel laned",
+        )
 
     run = sub.add_parser("run", help="run one protocol deployment")
     run.add_argument(
@@ -63,6 +82,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_run_options(run)
     run.add_argument(
         "--breakdown", action="store_true", help="print the latency breakdown"
+    )
+    run.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="JSON",
+        help="write the metrics summary as deterministic JSON "
+        "(kernel-equivalence diffs in CI)",
     )
 
     compare = sub.add_parser("compare", help="run several protocols side by side")
@@ -179,6 +205,49 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="kernels only (skips the deployment run and the gate)",
     )
+    perf.add_argument(
+        "--lanes",
+        type=int,
+        default=2,
+        help="laned-kernel worker count for the sim lane-scaling point",
+    )
+
+    scale = sub.add_parser(
+        "scale",
+        help="laned-kernel scaling: run the synthetic lane workload on "
+        "the classic or laned kernel (deterministic digests), or the "
+        "full fig13-style group sweep",
+    )
+    scale.add_argument("--groups", type=int, default=8, help="number of groups")
+    scale.add_argument("--nodes", type=int, default=7, help="nodes per group")
+    scale.add_argument("--duration", type=float, default=0.5)
+    scale.add_argument(
+        "--kernel", choices=("classic", "laned"), default="classic"
+    )
+    scale.add_argument(
+        "--lanes",
+        type=int,
+        default=1,
+        help="worker count for --kernel laned (forked when > 1)",
+    )
+    scale.add_argument(
+        "--sweep",
+        action="store_true",
+        help="run the full group-count sweep (4..32 groups, all kernels, "
+        "digest cross-check) instead of one point",
+    )
+    scale.add_argument(
+        "--sweep-groups",
+        default="4,8,16,32",
+        help="comma-separated group counts for --sweep",
+    )
+    scale.add_argument(
+        "--out",
+        default=None,
+        metavar="JSON",
+        help="write the deterministic result record (byte-for-byte "
+        "comparable across kernels and worker counts)",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -234,6 +303,9 @@ def _run_one(protocol: str, args: argparse.Namespace):
         make_workload(args.workload),
         offered_load=args.load,
         seed=args.seed,
+        kernel=getattr(args, "kernel", "classic"),
+        lanes=getattr(args, "lanes", None),
+        workers=getattr(args, "workers", 1),
     )
     metrics = deployment.run(duration=args.duration, warmup=args.warmup)
     return deployment, metrics
@@ -268,6 +340,30 @@ def cmd_run(args: argparse.Namespace) -> int:
         print("  latency breakdown:")
         for phase, seconds in sorted(metrics.phase_durations().items()):
             print(f"    {phase:<20} {seconds * 1000:7.2f} ms")
+    report = deployment.lane_report()
+    if report is not None:
+        print(
+            f"  lane kernel : {report['plan']}; "
+            f"{report['cross_lane_posts']} cross-lane posts "
+            f"({report['cross_lane_fraction']:.1%} of "
+            f"{report['events']} events), min slack "
+            f"{report['min_cross_slack'] * 1000:.2f} ms "
+            f"-> conservative {'OK' if report['conservative_ok'] else 'VIOLATED'}"
+        )
+    if args.metrics_out is not None:
+        import json
+
+        # Deliberately kernel-agnostic: classic and laned runs of the
+        # same scenario must produce byte-identical files.
+        record = {
+            "committed": metrics.committed,
+            "events": deployment.sim.events_processed,
+            "summary": metrics.summary(),
+        }
+        Path(args.metrics_out).write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"  wrote {args.metrics_out}")
     gate_table = format_queue_gating(metrics)
     if gate_table:
         print(gate_table)
@@ -408,10 +504,23 @@ def cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf.harness import DEFAULT_TOLERANCE
 
     config = BenchConfig.quick_preset() if args.quick else BenchConfig()
-    report = run_perf(config, log=print, end_to_end=not args.no_end_to_end)
+    report = run_perf(
+        config,
+        log=print,
+        end_to_end=not args.no_end_to_end,
+        lanes=args.lanes,
+    )
     output = Path(args.output)
     write_report(report, output)
     print(f"wrote {output}")
+
+    sim = report.get("sim", {})
+    if sim and not sim.get("digest_match", True):
+        print(
+            "laned kernel gate FAILED: per-group digests diverged from "
+            "the classic kernel"
+        )
+        return 1
 
     baseline_path = Path(args.baseline)
     if args.update_baseline:
@@ -445,7 +554,76 @@ def cmd_perf(args: argparse.Namespace) -> int:
         )
     else:
         print(f"baseline comparison skipped: {verdict['reason']}")
+    sim_ratio = verdict.get("sim_events_ratio")
+    if sim_ratio is not None:
+        print(
+            f"sim events/s vs baseline: {sim_ratio:.2f}x (normalized; "
+            f"floor {1.0 - tolerance:.2f}x)"
+        )
+    speedup = verdict.get("lane_speedup")
+    if speedup is not None:
+        gated = verdict.get("lane_speedup_gated")
+        print(
+            f"lane speedup: {speedup:.2f}x "
+            f"({'gated, floor 2.00x' if gated else 'informational: too few cores to gate'})"
+        )
+    if not verdict["ok"]:
+        print(f"perf gate FAILED: {verdict['reason']}")
     return 0 if verdict["ok"] else 1
+
+
+def cmd_scale(args: argparse.Namespace) -> int:
+    # Imported lazily: the lane bench pulls in the sim + topology stack.
+    import json
+
+    from repro.perf.lanebench import lane_scaling_sweep, scale_point
+
+    if args.sweep:
+        counts = tuple(
+            int(c) for c in args.sweep_groups.split(",") if c.strip()
+        )
+        workers = max(2, args.lanes)
+        print(
+            f"lane-scaling sweep: groups {list(counts)}, "
+            f"{args.nodes} nodes/group, {args.duration}s simulated, "
+            f"laned x{workers} workers"
+        )
+        result = lane_scaling_sweep(
+            group_counts=counts,
+            nodes_per_group=args.nodes,
+            duration=args.duration,
+            workers=workers,
+            log=print,
+        )
+        if args.out is not None:
+            Path(args.out).write_text(
+                json.dumps(result, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"wrote {args.out}")
+        if not result["digest_match"]:
+            print("FAILED: kernel digests diverged")
+            return 1
+        return 0
+
+    record = scale_point(
+        args.groups,
+        nodes_per_group=args.nodes,
+        duration=args.duration,
+        kernel=args.kernel,
+        lanes=args.lanes,
+    )
+    print(
+        f"{args.kernel} kernel, {record['groups']} groups x "
+        f"{record['nodes_per_group']} nodes ({record['total_nodes']} total), "
+        f"{record['duration']}s simulated: {record['events']} events, "
+        f"merged digest {record['merged_digest']}"
+    )
+    if args.out is not None:
+        Path(args.out).write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.out}")
+    return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -545,6 +723,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "check": cmd_check,
         "bench": cmd_bench,
         "perf": cmd_perf,
+        "scale": cmd_scale,
         "trace": cmd_trace,
     }
     return handlers[args.command](args)

@@ -163,6 +163,13 @@ class _TransportBase:
         #: (node addr, entry_id) pairs already delivered.
         self._delivered: Set[Tuple[object, EntryId]] = set()
         self.monitor_counters: Dict[str, int] = {}
+        #: Cached destination-group route lists, one per source group.
+        #: Invalidated on membership change (the epoch counts changes).
+        self._route_cache: Dict[int, List[int]] = {}
+        self.membership_epoch = 0
+        #: Optional lane plan: when attached, WAN pushes are accounted as
+        #: same-lane vs cross-lane (the laned kernel's sync-relevant set).
+        self.lane_plan = None
 
     def group_size(self, gid: int) -> int:
         return len(self.members[gid])
@@ -187,6 +194,8 @@ class _TransportBase:
             return
         nodes.append(node)
         nodes.sort(key=lambda n: n.addr)
+        self.membership_epoch += 1
+        self._route_cache.clear()
         self._attach_node_handlers(node)
 
     def remove_member(self, gid: int, node: "SimNode") -> None:
@@ -195,12 +204,35 @@ class _TransportBase:
             self.members[gid].remove(node)
         except ValueError:
             pass
+        else:
+            self.membership_epoch += 1
+            self._route_cache.clear()
 
     def faulty_bound(self, gid: int) -> int:
         return (self.group_size(gid) - 1) // 3
 
     def other_groups(self, gid: int) -> List[int]:
-        return [g for g in sorted(self.members) if g != gid]
+        routes = self._route_cache.get(gid)
+        if routes is None:
+            routes = [g for g in sorted(self.members) if g != gid]
+            self._route_cache[gid] = routes
+        return routes
+
+    def attach_lane_plan(self, plan) -> None:
+        """Enable per-route lane accounting (laned kernel only)."""
+        self.lane_plan = plan
+
+    def _note_wan_routes(self, src_gid: int) -> None:
+        """Count this entry's same-lane vs cross-lane destination routes."""
+        plan = self.lane_plan
+        if plan is None:
+            return
+        src_lane = plan.lane_of_group(src_gid)
+        for dst_gid in self.other_groups(src_gid):
+            if plan.lane_of_group(dst_gid) != src_lane:
+                self._count("wan.cross_lane_routes")
+            else:
+                self._count("wan.same_lane_routes")
 
     def _count(self, key: str, amount: int = 1) -> None:
         self.monitor_counters[key] = self.monitor_counters.get(key, 0) + amount
@@ -244,6 +276,7 @@ class LeaderUnicastTransport(_TransportBase):
         """Called once per entry after local commit; only ``leader`` sends."""
         sender = leader
         self.mark_origin_delivered(entry.entry_id)
+        self._note_wan_routes(entry.gid)
         for dst_gid in self.other_groups(entry.gid):
             receivers = self.members[dst_gid][: self.faulty_bound(dst_gid) + 1]
             for receiver in receivers:
@@ -315,6 +348,7 @@ class BijectiveTransport(LeaderUnicastTransport):
         """Called once per entry; ``f1+f2+1`` members transmit independently."""
         self.mark_origin_delivered(entry.entry_id)
         src_gid = entry.gid
+        self._note_wan_routes(src_gid)
         f1 = self.faulty_bound(src_gid)
         for dst_gid in self.other_groups(src_gid):
             f2 = self.faulty_bound(dst_gid)
@@ -401,6 +435,7 @@ class EncodedBijectiveTransport(_TransportBase):
         transmits its plan share to every destination group."""
         self.mark_origin_delivered(entry.entry_id)
         src_gid = entry.gid
+        self._note_wan_routes(src_gid)
         for dst_gid in self.other_groups(src_gid):
             plan = self.plan_for(src_gid, dst_gid)
             chunk_size = max(1, -(-entry.size_bytes // plan.n_data))

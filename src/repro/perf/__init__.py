@@ -14,10 +14,18 @@ from repro.perf.harness import (
     run_perf,
     write_report,
 )
+from repro.perf.lanebench import (
+    lane_scaling_sweep,
+    run_lane_bench,
+    scale_point,
+)
 
 __all__ = [
     "BenchConfig",
     "compare_to_baseline",
+    "lane_scaling_sweep",
+    "run_lane_bench",
     "run_perf",
+    "scale_point",
     "write_report",
 ]

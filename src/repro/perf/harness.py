@@ -191,9 +191,15 @@ def run_perf(
     config: Optional[BenchConfig] = None,
     log: Optional[Callable[[str], None]] = None,
     end_to_end: bool = True,
+    lanes: int = 2,
 ) -> Dict[str, object]:
-    """Run the full suite and return the report dict."""
+    """Run the full suite and return the report dict.
+
+    ``lanes`` is the laned-kernel worker count for the ``sim`` section
+    (the lane-scaling point; see :mod:`repro.perf.lanebench`).
+    """
     from repro.erasure import reed_solomon
+    from repro.perf.lanebench import run_lane_bench
 
     config = config or BenchConfig()
     gc_was_enabled = gc.isenabled()
@@ -209,6 +215,15 @@ def run_perf(
             "numpy": reed_solomon._np is not None,
             "kernels": kernels,
         }
+        if log:
+            log("sim (laned kernel):")
+        report["sim"] = run_lane_bench(
+            quick=config.quick, lanes=lanes, log=log
+        )
+        report["normalized_sim_events"] = (
+            report["sim"]["events_per_sec"]
+            / kernels["calibration.spin"]["ops_per_sec"]
+        )
         if end_to_end:
             if log:
                 log("end-to-end:")
@@ -257,9 +272,21 @@ def compare_to_baseline(
 ) -> Dict[str, object]:
     """Regression verdict of ``report`` against ``baseline``.
 
-    Only the machine-speed-normalized end-to-end rate gates (kernel
-    rates are reported as ratios for context but do not fail the check —
-    individual microbenchmarks are too noisy across runners to gate CI).
+    Gates, in order of severity:
+
+    * ``sim.digest_match`` — the laned kernel reproduced the classic
+      event stream exactly. A mismatch is a correctness bug and fails
+      regardless of machine or baseline.
+    * the machine-speed-normalized end-to-end rate against baseline;
+    * the normalized simulator event rate (``sim.events_per_sec`` /
+      calibration spin) against baseline, same tolerance band;
+    * ``sim.lane_speedup >= 2`` — only on machines with >= 4 cores
+      (parallel speedup cannot exist on fewer; recorded as
+      informational there).
+
+    Kernel rates are reported as ratios for context but do not fail the
+    check — individual microbenchmarks are too noisy across runners to
+    gate CI.
     """
     verdict: Dict[str, object] = {"tolerance": tolerance}
     kernel_ratios: Dict[str, float] = {}
@@ -270,20 +297,60 @@ def compare_to_baseline(
             kernel_ratios[name] = result["ops_per_sec"] / base["ops_per_sec"]
     verdict["kernel_ratios"] = kernel_ratios
 
+    failures = []
+
+    sim = report.get("sim")
+    if sim is not None:
+        verdict["sim_digest_match"] = bool(sim.get("digest_match"))
+        if not sim.get("digest_match"):
+            failures.append(
+                "laned kernel digests diverged from the classic kernel"
+            )
+        cores = sim.get("cores", 1)
+        speedup = sim.get("lane_speedup")
+        if cores >= 4 and sim.get("lanes", 1) >= 2 and speedup is not None:
+            verdict["lane_speedup"] = speedup
+            verdict["lane_speedup_gated"] = True
+            if speedup < 2.0:
+                failures.append(
+                    f"lane speedup {speedup:.2f}x below the 2x floor "
+                    f"on a {cores}-core machine"
+                )
+        else:
+            verdict["lane_speedup"] = speedup
+            verdict["lane_speedup_gated"] = False
+
+    current_sim = report.get("normalized_sim_events")
+    reference_sim = baseline.get("normalized_sim_events")
+    if current_sim is not None and reference_sim:
+        ratio = current_sim / reference_sim
+        verdict["sim_events_ratio"] = ratio
+        if ratio < 1.0 - tolerance:
+            failures.append(
+                f"sim events/s regressed to {ratio:.2f}x of baseline "
+                f"(floor {1.0 - tolerance:.2f}x)"
+            )
+    else:
+        verdict["sim_events_ratio"] = None
+
     current = report.get("normalized_end_to_end")
     reference = baseline.get("normalized_end_to_end")
     if current is None or not reference:
         verdict["end_to_end_ratio"] = None
-        verdict["ok"] = True
-        verdict["reason"] = "no end-to-end comparison available"
+        verdict["ok"] = not failures
+        verdict["reason"] = (
+            "; ".join(failures)
+            if failures
+            else "no end-to-end comparison available"
+        )
         return verdict
     ratio = current / reference
     verdict["end_to_end_ratio"] = ratio
-    verdict["ok"] = ratio >= 1.0 - tolerance
-    verdict["reason"] = (
-        "within tolerance"
-        if verdict["ok"]
-        else f"end-to-end regressed to {ratio:.2f}x of baseline "
-        f"(floor {1.0 - tolerance:.2f}x)"
-    )
+    if ratio < 1.0 - tolerance:
+        failures.append(
+            f"end-to-end regressed to {ratio:.2f}x of baseline "
+            f"(floor {1.0 - tolerance:.2f}x)"
+        )
+    verdict["ok"] = not failures
+    verdict["reason"] = "; ".join(failures) if failures else "within tolerance"
     return verdict

@@ -1,0 +1,385 @@
+"""Lane-scaling benchmark for the sharded simulation kernel.
+
+Runs a protocol-shaped synthetic workload — per-group PBFT-style message
+storms on the paper's 20 ms batch timer, plus cross-group commit
+certificates over the WAN latency matrix — on two kernels:
+
+* the **classic** single-heap :class:`~repro.sim.core.Simulator`, all
+  groups interleaved in one event loop;
+* the **laned** :class:`~repro.sim.lanes.LanedEngine`, one lane per
+  group, advancing in conservative horizon rounds, optionally forked
+  across worker processes.
+
+The workload is *lane-isolated by construction* (each group's state is
+only touched from its own lane; groups interact exclusively through
+timestamped certificate messages whose latency is bounded below by the
+plan lookahead), so both kernels must execute every group's event
+sequence identically. Each group folds its executed events into an
+FNV-1a digest; **digest equality between kernels and across worker
+counts is the pass condition**, and events/second is the score.
+
+Cross-group arrival times carry tiny per-source epsilons
+(``+1e-9*(src+1) + 1e-13*seq``) so no two events in the whole system
+ever tie: digests then compare exactly without depending on either
+kernel's tie-breaking order.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.core import Simulator
+from repro.sim.lanes import LanedEngine, LanePlan
+from repro.topology import worldwide_scaled_cluster
+
+FNV_OFFSET = 0xCBF29CE484222325
+FNV_PRIME = 0x100000001B3
+MASK64 = 0xFFFFFFFFFFFFFFFF
+
+#: One LAN hop inside a group's data center (seconds).
+LAN_HOP = 0.00025
+#: The paper's batch timer.
+BATCH_INTERVAL = 0.020
+
+_KIND_IDS = {"batch": 1, "preprepare": 2, "prepare": 3, "commit": 4, "cert": 5}
+
+
+def _float_bits(value: float) -> int:
+    """Exact 64-bit pattern of a float (digests must not round)."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+class BenchGroup:
+    """One group's synthetic consensus workload, kernel-agnostic.
+
+    ``post_cross(dst_gid, arrival, payload)`` is the only way anything
+    leaves the group, so the same class drives both the classic
+    single-simulator run and a :class:`LanedEngine` lane program.
+    """
+
+    def __init__(
+        self,
+        gid: int,
+        n_groups: int,
+        n_nodes: int,
+        sim: Simulator,
+        post_cross: Callable[[int, float, Tuple[int, int]], None],
+        latency: Callable[[int, int], float],
+    ) -> None:
+        self.gid = gid
+        self.n_groups = n_groups
+        self.n_nodes = n_nodes
+        self.sim = sim
+        self.post_cross = post_cross
+        self.latency = latency
+        self._acc = FNV_OFFSET
+        self._cross_seq = 0
+
+    def install(self) -> None:
+        offset = (self.gid + 1) * 1e-4  # desynchronised, like the runtime
+        self.sim.set_timer(
+            BATCH_INTERVAL + offset, self.on_batch, interval=BATCH_INTERVAL
+        )
+
+    # -- local consensus round -----------------------------------------
+
+    def on_batch(self) -> None:
+        self._note("batch", self.gid, 0)
+        now = self.sim.now
+        n = self.n_nodes
+        schedule_at = self.sim.schedule_at
+        # Pre-prepare: leader to each replica, one LAN hop.
+        base = now + LAN_HOP
+        for j in range(1, n):
+            schedule_at(base + j * 1e-7, self.on_msg, "preprepare", j)
+        # Prepare: all-to-all.
+        base = now + 2 * LAN_HOP
+        k = 0
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    schedule_at(base + k * 1e-7, self.on_msg, "prepare", j)
+                    k += 1
+        # Commit notices back to the replicas.
+        base = now + 3 * LAN_HOP + 1e-5
+        for j in range(1, n):
+            schedule_at(base + j * 1e-7, self.on_msg, "commit", j)
+        # Certificate fan-out to every other group once commit lands.
+        schedule_at(base + n * 1e-7 + LAN_HOP, self.send_certs)
+
+    def on_msg(self, kind: str, node: int) -> None:
+        self._note(kind, self.gid, node)
+
+    def send_certs(self) -> None:
+        now = self.sim.now
+        src = self.gid
+        for dst in range(self.n_groups):
+            if dst == src:
+                continue
+            seq = self._cross_seq
+            self._cross_seq = seq + 1
+            # The epsilons keep every arrival globally unique; the WAN
+            # latency term keeps the post conservative (>= lookahead).
+            arrival = (
+                now + self.latency(src, dst) + 1e-9 * (src + 1) + 1e-13 * seq
+            )
+            self.post_cross(dst, arrival, (src, seq))
+
+    def on_cert(self, src_gid: int, seq: int) -> None:
+        self._note("cert", src_gid, seq)
+
+    # -- digest --------------------------------------------------------
+
+    def _note(self, kind: str, a: int, b: int) -> None:
+        acc = self._acc
+        for value in (_float_bits(self.sim.now), _KIND_IDS[kind], a, b):
+            for _ in range(8):
+                acc = ((acc ^ (value & 0xFF)) * FNV_PRIME) & MASK64
+                value >>= 8
+        self._acc = acc
+
+    def hexdigest(self) -> str:
+        return f"{self._acc:016x}"
+
+
+class _LaneProgram:
+    """Adapter: one :class:`BenchGroup` as a :class:`LanedEngine` lane."""
+
+    def __init__(
+        self,
+        gid: int,
+        n_groups: int,
+        n_nodes: int,
+        latency: Callable[[int, int], float],
+    ) -> None:
+        self.gid = gid
+        self.sim = Simulator()
+        self.group = BenchGroup(
+            gid, n_groups, n_nodes, self.sim, self._post_cross, latency
+        )
+        self._engine_post: Optional[Callable[..., None]] = None
+
+    def start(self, post: Callable[..., None]) -> None:
+        self._engine_post = post
+        self.group.install()
+
+    def _post_cross(
+        self, dst_gid: int, arrival: float, payload: Tuple[int, int]
+    ) -> None:
+        self._engine_post(dst_gid + 1, arrival, payload)
+
+    def deliver(
+        self, arrival: float, src_lane: int, payload: Tuple[int, int]
+    ) -> None:
+        self.sim.schedule_at(arrival, self.group.on_cert, *payload)
+
+    def digest(self) -> str:
+        return self.group.hexdigest()
+
+    def stats(self) -> Dict[str, Any]:
+        return {"gid": self.gid, "events": self.sim.events_processed}
+
+
+def _latency_fn(cluster) -> Callable[[int, int], float]:
+    rtt = cluster.rtt_matrix
+
+    def latency(src: int, dst: int) -> float:
+        key = (src, dst) if src < dst else (dst, src)
+        return rtt[key] / 2.0
+
+    return latency
+
+
+def run_classic(
+    cluster, nodes_per_group: int, duration: float
+) -> Tuple[Dict[int, str], int, float]:
+    """All groups in one heap loop; returns (digests, events, wall)."""
+    sim = Simulator()
+    latency = _latency_fn(cluster)
+    n_groups = cluster.n_groups
+    groups: Dict[int, BenchGroup] = {}
+
+    def post_cross(dst: int, arrival: float, payload: Tuple[int, int]) -> None:
+        sim.schedule_at(arrival, groups[dst].on_cert, *payload)
+
+    for gid in range(n_groups):
+        group = BenchGroup(
+            gid, n_groups, nodes_per_group, sim, post_cross, latency
+        )
+        groups[gid] = group
+        group.install()
+    start = time.perf_counter()
+    sim.run(until=duration)
+    wall = time.perf_counter() - start
+    digests = {gid: group.hexdigest() for gid, group in groups.items()}
+    return digests, sim.events_processed, wall
+
+
+def run_laned(
+    cluster, nodes_per_group: int, duration: float, workers: int = 1
+) -> Tuple[Dict[int, str], int, float]:
+    """One lane per group on :class:`LanedEngine`; digests keyed by gid."""
+    latency = _latency_fn(cluster)
+    n_groups = cluster.n_groups
+    plan = LanePlan.from_cluster(cluster)
+    factories = {
+        gid + 1: (
+            lambda gid=gid: _LaneProgram(
+                gid, n_groups, nodes_per_group, latency
+            )
+        )
+        for gid in range(n_groups)
+    }
+    engine = LanedEngine(factories, lookahead=plan.lookahead, workers=workers)
+    start = time.perf_counter()
+    result = engine.run(until=duration)
+    wall = time.perf_counter() - start
+    digests = {lane - 1: digest for lane, digest in result.digests.items()}
+    return digests, result.events, wall
+
+
+def scale_point(
+    n_groups: int,
+    nodes_per_group: int = 7,
+    duration: float = 0.5,
+    kernel: str = "classic",
+    lanes: int = 1,
+) -> Dict[str, Any]:
+    """One sweep point as a deterministic, kernel-agnostic record.
+
+    The record deliberately excludes the kernel name, worker count and
+    wall-clock timings, so classic and laned outputs for the same
+    topology can be diffed byte-for-byte (the CI ``scale-smoke`` gate).
+    """
+    cluster = worldwide_scaled_cluster(n_groups, nodes_per_group)
+    if kernel == "classic":
+        digests, events, _wall = run_classic(cluster, nodes_per_group, duration)
+    elif kernel == "laned":
+        digests, events, _wall = run_laned(
+            cluster, nodes_per_group, duration, workers=max(1, lanes)
+        )
+    else:
+        raise ValueError(f"unknown kernel {kernel!r}")
+    merged = FNV_OFFSET
+    for gid in sorted(digests):
+        for token in (str(gid), digests[gid]):
+            for byte in token.encode():
+                merged = ((merged ^ byte) * FNV_PRIME) & MASK64
+    return {
+        "schema": "repro-scale/1",
+        "cluster": cluster.name,
+        "groups": n_groups,
+        "nodes_per_group": nodes_per_group,
+        "total_nodes": n_groups * nodes_per_group,
+        "duration": duration,
+        "events": events,
+        "digests": {str(gid): digests[gid] for gid in sorted(digests)},
+        "merged_digest": f"{merged:016x}",
+    }
+
+
+def lane_scaling_sweep(
+    group_counts: Tuple[int, ...] = (4, 8, 16, 32),
+    nodes_per_group: int = 7,
+    duration: float = 0.5,
+    workers: int = 2,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Fig 13-style sweep: events/s per kernel as groups scale.
+
+    Every point cross-checks three executions — classic, laned with one
+    worker, laned with ``workers`` forked workers — for exact per-group
+    digest equality before recording any rate.
+    """
+    points: List[Dict[str, Any]] = []
+    for n_groups in group_counts:
+        cluster = worldwide_scaled_cluster(n_groups, nodes_per_group)
+        classic_digests, events, classic_wall = run_classic(
+            cluster, nodes_per_group, duration
+        )
+        laned_digests, laned_events, laned_wall = run_laned(
+            cluster, nodes_per_group, duration, workers=1
+        )
+        forked_digests, forked_events, forked_wall = run_laned(
+            cluster, nodes_per_group, duration, workers=workers
+        )
+        match = classic_digests == laned_digests == forked_digests
+        point = {
+            "groups": n_groups,
+            "nodes": n_groups * nodes_per_group,
+            "events": events,
+            "digest_match": match
+            and events == laned_events == forked_events,
+            "classic_events_per_sec": events / classic_wall,
+            "laned_events_per_sec": laned_events / laned_wall,
+            "forked_events_per_sec": forked_events / forked_wall,
+            "forked_workers": workers,
+            "lane_speedup": classic_wall / forked_wall,
+        }
+        points.append(point)
+        if log:
+            log(
+                f"  {n_groups:>3} groups ({point['nodes']:>5} nodes)  "
+                f"classic {point['classic_events_per_sec']:>12,.0f} ev/s  "
+                f"laned x{workers} {point['forked_events_per_sec']:>12,.0f} "
+                f"ev/s  speedup {point['lane_speedup']:.2f}x  "
+                f"{'ok' if point['digest_match'] else 'DIGEST MISMATCH'}"
+            )
+    return {
+        "nodes_per_group": nodes_per_group,
+        "duration": duration,
+        "workers": workers,
+        "points": points,
+        "digest_match": all(p["digest_match"] for p in points),
+    }
+
+
+def run_lane_bench(
+    quick: bool = False,
+    lanes: int = 2,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """The ``repro perf`` "sim" section: one gated lane-scaling point.
+
+    ``digest_match`` always gates (a kernel that reorders events is a
+    correctness bug regardless of the machine). ``lane_speedup`` is a
+    parallelism measurement, meaningful only with cores to run on — the
+    report carries ``cores`` so the regression check can gate the
+    speedup on capable machines and record it as informational
+    elsewhere.
+    """
+    n_groups = 4 if quick else 8
+    duration = 0.25 if quick else 0.5
+    cluster = worldwide_scaled_cluster(n_groups, nodes_per_group=5)
+    classic_digests, events, classic_wall = run_classic(cluster, 5, duration)
+    laned_digests, laned_events, laned_wall = run_laned(
+        cluster, 5, duration, workers=max(1, lanes)
+    )
+    result = {
+        "groups": n_groups,
+        "duration": duration,
+        "lanes": max(1, lanes),
+        "cores": os.cpu_count() or 1,
+        "events": events,
+        "events_per_sec": events / classic_wall,
+        "laned_events_per_sec": laned_events / laned_wall,
+        "lane_speedup": classic_wall / laned_wall,
+        "digest_match": (
+            classic_digests == laned_digests and events == laned_events
+        ),
+    }
+    if log:
+        log(
+            f"  sim.events_per_sec           {result['events_per_sec']:14,.0f} ev/s"
+        )
+        log(
+            f"  sim.laned x{result['lanes']} "
+            f"{result['laned_events_per_sec']:>{27 - len(str(result['lanes']))},.0f} ev/s  "
+            f"(speedup {result['lane_speedup']:.2f}x on "
+            f"{result['cores']} core(s), digests "
+            f"{'match' if result['digest_match'] else 'MISMATCH'})"
+        )
+    return result

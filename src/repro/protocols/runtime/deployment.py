@@ -22,7 +22,8 @@ Stages communicate through the typed event bus
 from __future__ import annotations
 
 import gc
-from typing import Dict, List, Optional
+from contextlib import nullcontext
+from typing import Any, Dict, List, Optional
 
 from repro.bench.metrics import RunMetrics
 from repro.core.entry import EntryId, LogEntry
@@ -46,6 +47,7 @@ from repro.protocols.runtime.node import GeoNode
 from repro.protocols.runtime.ordering_exec import OrderingExecStage
 from repro.protocols.runtime.spec import ProtocolSpec
 from repro.sim.core import Simulator
+from repro.sim.lanes import LanedSimulator, LanePlan
 from repro.sim.network import Network, NodeAddress
 from repro.sim.rng import RngRegistry
 from repro.topology.cluster import ClusterConfig
@@ -84,17 +86,29 @@ class GeoDeployment:
         cert_size: int = DEFAULT_CERT_SIZE,
         wan_backlog_cap: float = 0.12,
         cpu_backlog_cap: float = 0.08,
+        kernel: str = "classic",
+        lanes: Optional[int] = None,
+        workers: int = 1,
     ) -> None:
         """``offered_load`` is client transactions/second *per group*;
         ``max_batch_txns`` defaults to one batch-timeout's worth of
         arrivals (so a fast group cannot mask a sync-ordering stall by
-        growing its batches without bound)."""
+        growing its batches without bound).
+
+        ``kernel`` selects the event core: ``"classic"`` (single heap
+        loop) or ``"laned"`` (per-group event lanes with conservative
+        WAN synchronization; byte-identical outputs, plus a
+        :meth:`lane_report`). ``lanes`` caps the group-lane count
+        (default: one lane per group); ``workers`` is the bookkept lane
+        to worker partition."""
         if coding not in ("real", "simulated"):
             raise ValueError(f"unknown coding mode {coding!r}")
         if execution not in ("full", "modeled"):
             raise ValueError(f"unknown execution mode {execution!r}")
         if observers not in ("leaders", "all"):
             raise ValueError("observers must be 'leaders' or 'all'")
+        if kernel not in ("classic", "laned"):
+            raise ValueError(f"unknown kernel {kernel!r}")
         self.cluster = cluster
         self.spec = spec
         self.workload = workload
@@ -124,7 +138,13 @@ class GeoDeployment:
         self.materialize_payloads = coding == "real" or execution == "full"
 
         self.rng = RngRegistry(seed)
-        self.sim = Simulator()
+        self.kernel = kernel
+        self.lane_plan: Optional[LanePlan] = None
+        if kernel == "laned":
+            self.lane_plan = LanePlan.from_cluster(cluster, lanes=lanes)
+            self.sim: Simulator = LanedSimulator(self.lane_plan, workers=workers)
+        else:
+            self.sim = Simulator()
         self.network = Network(
             self.sim,
             rtt_matrix=cluster.rtt_matrix,
@@ -133,6 +153,8 @@ class GeoDeployment:
             lan_latency=cluster.lan_latency,
             rng=self.rng,
         )
+        if self.lane_plan is not None:
+            self.network.attach_lanes(self.lane_plan)
         self.keystore = KeyStore(seed=seed)
         self.n_groups = cluster.n_groups
         self.f_g = cluster.f_g
@@ -152,30 +174,33 @@ class GeoDeployment:
         self.nodes: Dict[NodeAddress, GeoNode] = {}
         self.groups: Dict[int, GroupRuntime] = {}
         for group_cfg in cluster.groups:
-            members: List[GeoNode] = []
-            for index in range(group_cfg.n_nodes):
-                addr = NodeAddress(group_cfg.gid, index)
-                node = GeoNode(
-                    self.sim,
-                    self.network,
-                    addr,
-                    self,
-                    wan_bandwidth=group_cfg.bandwidth_of(
-                        index, cluster.wan_bandwidth
-                    ),
+            # Everything a group schedules during construction (PBFT
+            # timers, client arrivals, CPU queues) inherits its lane.
+            with self.lane_context_of(group_cfg.gid):
+                members: List[GeoNode] = []
+                for index in range(group_cfg.n_nodes):
+                    addr = NodeAddress(group_cfg.gid, index)
+                    node = GeoNode(
+                        self.sim,
+                        self.network,
+                        addr,
+                        self,
+                        wan_bandwidth=group_cfg.bandwidth_of(
+                            index, cluster.wan_bandwidth
+                        ),
+                    )
+                    node.cpu.rate = self.costs.cpu_cores
+                    self.nodes[addr] = node
+                    members.append(node)
+                load = ClientLoad(
+                    workload,
+                    rate=self.offered_load[group_cfg.gid],
+                    rng=self.rng.stream(f"load.g{group_cfg.gid}"),
+                    queue_seconds=client_queue_seconds,
                 )
-                node.cpu.rate = self.costs.cpu_cores
-                self.nodes[addr] = node
-                members.append(node)
-            load = ClientLoad(
-                workload,
-                rate=self.offered_load[group_cfg.gid],
-                rng=self.rng.stream(f"load.g{group_cfg.gid}"),
-                queue_seconds=client_queue_seconds,
-            )
-            self.groups[group_cfg.gid] = GroupRuntime(
-                self, group_cfg.gid, members, load
-            )
+                self.groups[group_cfg.gid] = GroupRuntime(
+                    self, group_cfg.gid, members, load
+                )
 
         # Wire global message handlers (all nodes; reps act on them).
         for node in self.nodes.values():
@@ -194,6 +219,10 @@ class GeoDeployment:
                 spec, members_by_gid, deliver, get_entry,
                 self.costs, cert_size, coding,
             )
+        if self.lane_plan is not None and hasattr(
+            self.transport, "attach_lane_plan"
+        ):
+            self.transport.attach_lane_plan(self.lane_plan)
         self.dissemination = DisseminationStage(self, self.transport)
 
         # Observers: ordering + execution + measurement.
@@ -221,12 +250,13 @@ class GeoDeployment:
         # Timers: batching, then each phase's periodic work.
         for gid, group in self.groups.items():
             offset = (gid + 1) * 1e-4  # desynchronise group timers slightly
-            self.sim.set_timer(
-                batch_timeout + offset,
-                group.on_batch_timer,
-                interval=batch_timeout,
-            )
-            group.global_phase.install_timers(offset)
+            with self.lane_context_of(gid):
+                self.sim.set_timer(
+                    batch_timeout + offset,
+                    group.on_batch_timer,
+                    interval=batch_timeout,
+                )
+                group.global_phase.install_timers(offset)
 
     # ------------------------------------------------------------------
     # Stage selection
@@ -248,6 +278,18 @@ class GeoDeployment:
 
     def other_groups(self, gid: int) -> List[int]:
         return [g for g in range(self.n_groups) if g != gid]
+
+    def lane_context_of(self, gid: int):
+        """Lane attribution scope for group ``gid`` (no-op when classic)."""
+        if self.lane_plan is None:
+            return nullcontext()
+        return self.sim.lane_context(self.lane_plan.lane_of_group(gid))
+
+    def lane_report(self) -> Optional[Dict[str, Any]]:
+        """Per-lane event accounting (``None`` on the classic kernel)."""
+        if self.lane_plan is None:
+            return None
+        return self.sim.lane_report()
 
     def observer_of(self, gid: int) -> GeoNode:
         return self.groups[gid].members[0]

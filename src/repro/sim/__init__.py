@@ -13,8 +13,15 @@ per-node upstream WAN bandwidth limits, LAN/WAN latency asymmetry, message
 loss, and whole-datacenter failures.
 """
 
-from repro.sim.core import Simulator, Timer
+from repro.sim.core import SimulationBudgetExceeded, Simulator, Timer
 from repro.sim.events import Event, EventQueue
+from repro.sim.lanes import (
+    WAN_LANE,
+    EngineResult,
+    LanedEngine,
+    LanedSimulator,
+    LanePlan,
+)
 from repro.sim.monitor import Counter, Histogram, StatMonitor, TimeSeries
 from repro.sim.network import (
     LinkQuality,
@@ -28,9 +35,13 @@ from repro.sim.rng import RngRegistry
 
 __all__ = [
     "Counter",
+    "EngineResult",
     "Event",
     "EventQueue",
     "Histogram",
+    "LanePlan",
+    "LanedEngine",
+    "LanedSimulator",
     "LinkQuality",
     "Message",
     "Network",
@@ -38,8 +49,10 @@ __all__ = [
     "NodeAddress",
     "RngRegistry",
     "SimNode",
+    "SimulationBudgetExceeded",
     "Simulator",
     "StatMonitor",
     "TimeSeries",
     "Timer",
+    "WAN_LANE",
 ]

@@ -13,6 +13,25 @@ from typing import Any, Callable, List, Optional
 from repro.sim.events import Event, EventQueue
 
 
+class SimulationBudgetExceeded(RuntimeError):
+    """An event budget ran out while live events were still pending.
+
+    Raised by :meth:`Simulator.run_until_idle` (and the laned kernel's
+    equivalent drain paths) instead of silently returning: a drained
+    budget almost always means a runaway timer or a livelocked protocol,
+    and a silent partial run masks it as "idle".
+    """
+
+    def __init__(self, max_events: int, pending_time: float) -> None:
+        super().__init__(
+            f"event budget of {max_events} events exhausted with live events "
+            f"still pending (earliest at t={pending_time:.6f}s); raise "
+            f"max_events or fix the runaway event source"
+        )
+        self.max_events = max_events
+        self.pending_time = pending_time
+
+
 class Timer:
     """A cancellable, optionally repeating timer bound to a simulator.
 
@@ -135,12 +154,21 @@ class Simulator:
         """Register a callable invoked once when a run finishes."""
         self._shutdown_hooks.append(hook)
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        exclusive: bool = False,
+    ) -> float:
         """Process events until the queue drains, ``until`` passes, or stop().
 
         Returns the simulated time at which the run ended. Time advances to
         ``until`` even if the queue drains earlier, so rate computations
         (txns / elapsed) stay well-defined.
+
+        With ``exclusive=True`` only events strictly before ``until`` run
+        (the laned kernel's horizon rounds stop *before* the horizon so
+        inter-lane messages arriving exactly at it merge first).
 
         This loop is the simulator's hottest code: each iteration does one
         single-pass ``pop_until`` (no separate peek) and invokes the event
@@ -150,10 +178,12 @@ class Simulator:
         """
         if self._running:
             raise RuntimeError("simulator is already running (re-entrant run())")
+        if exclusive and until is None:
+            raise ValueError("exclusive runs need an explicit until bound")
         self._running = True
         self._stopped = False
         processed_this_run = 0
-        pop_until = self._queue.pop_until
+        pop_until = self._queue.pop_before if exclusive else self._queue.pop_until
         try:
             while not self._stopped:
                 if max_events is not None and processed_this_run >= max_events:
@@ -175,5 +205,16 @@ class Simulator:
         return self._now
 
     def run_until_idle(self, max_events: int = 10_000_000) -> float:
-        """Run until no events remain. Guards against runaway loops."""
-        return self.run(max_events=max_events)
+        """Run until no events remain. Guards against runaway loops.
+
+        Raises :class:`SimulationBudgetExceeded` when the budget drains
+        with live events still queued — a silent partial drain here has
+        historically masked runaway timer loops as clean completions.
+        """
+        before = self.events_processed
+        end = self.run(max_events=max_events)
+        if self.events_processed - before >= max_events and not self._stopped:
+            pending = self._queue.peek_time()
+            if pending is not None:
+                raise SimulationBudgetExceeded(max_events, pending)
+        return end

@@ -22,6 +22,7 @@ partitions, and per-node crash/bandwidth overrides (Fig 14, Fig 15).
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -177,6 +178,20 @@ class Network:
 
         self._handlers: Dict[NodeAddress, Callable[[Message], None]] = {}
         self._group_cache: Dict[int, List[NodeAddress]] = {}
+        #: Per-group receiver lists (members minus a given sender),
+        #: precomputed so the broadcast hot path never rescans membership.
+        #: Keyed by group, then (sender, include_self); dropped wholesale
+        #: for a group when its membership epoch bumps.
+        self._receiver_cache: Dict[
+            int, Dict[Tuple[NodeAddress, bool], List[NodeAddress]]
+        ] = {}
+        #: Bumped on every membership change (node registration or an
+        #: explicit reconfiguration notice); lets callers cache routing
+        #: derived from membership and invalidate precisely.
+        self.membership_epoch = 0
+        #: Laned-kernel routing: group -> lane, set by attach_lanes().
+        self._lane_of_group: Optional[List[int]] = None
+        self._post: Optional[Callable[..., Any]] = None
         self._lan_up: Dict[NodeAddress, ResourceQueue] = {}
         self._wan_up: Dict[NodeAddress, ResourceQueue] = {}
         self._wan_ctl: Dict[NodeAddress, ResourceQueue] = {}
@@ -204,7 +219,15 @@ class Network:
             raise ValueError(f"node {addr} already registered")
         wan = wan_bandwidth if wan_bandwidth is not None else self.default_wan_bandwidth
         self._handlers[addr] = handler
-        self._group_cache.pop(addr.group, None)
+        members = self._group_cache.get(addr.group)
+        if members is None:
+            self._group_cache[addr.group] = [addr]
+        else:
+            # Incremental sorted insert: registering node k of a group is
+            # O(group size), not a rescan of every registered node (the
+            # old rebuild made 1000-node cluster setup quadratic).
+            insort(members, addr)
+        self.note_membership_change(addr.group)
         self._lan_up[addr] = ResourceQueue(f"{addr}.lan_up", self.lan_bandwidth)
         self._wan_up[addr] = ResourceQueue(f"{addr}.wan_up", wan)
         # Priority lane for small control messages (consensus votes,
@@ -231,13 +254,69 @@ class Network:
         return list(self._members(group))
 
     def _members(self, group: int) -> List[NodeAddress]:
-        """Cached sorted member list; membership only changes on register()."""
+        """Sorted member list, maintained incrementally by register()."""
         members = self._group_cache.get(group)
         if members is None:
             members = self._group_cache[group] = sorted(
                 a for a in self._handlers if a.group == group
             )
         return members
+
+    def note_membership_change(self, group: int) -> None:
+        """Invalidate routing caches for ``group`` and bump the epoch.
+
+        Called on registration and by reconfiguration paths whenever a
+        group's effective membership changes; anything caching receiver
+        lists (here or in transports) keys its validity off
+        :attr:`membership_epoch`.
+        """
+        self.membership_epoch += 1
+        self._receiver_cache.pop(group, None)
+
+    def _receivers(
+        self, group: int, src: NodeAddress, include_self: bool
+    ) -> List[NodeAddress]:
+        """Precomputed broadcast receiver list (members minus the sender).
+
+        Same order as scanning the sorted member list and skipping the
+        sender, so message ids and delivery times are unchanged — the
+        per-send linear scan is just gone.
+        """
+        by_sender = self._receiver_cache.get(group)
+        if by_sender is None:
+            by_sender = self._receiver_cache[group] = {}
+        key = (src, include_self)
+        receivers = by_sender.get(key)
+        if receivers is None:
+            receivers = by_sender[key] = [
+                addr
+                for addr in self._members(group)
+                if include_self or addr != src
+            ]
+        return receivers
+
+    # ------------------------------------------------------------------
+    # Laned-kernel routing
+    # ------------------------------------------------------------------
+
+    def attach_lanes(self, plan) -> None:
+        """Route cross-group deliveries into destination lanes.
+
+        With a :class:`repro.sim.lanes.LanePlan` attached (and the
+        simulator being a :class:`~repro.sim.lanes.LanedSimulator`),
+        every WAN delivery event is posted to the lane owning the
+        destination group instead of inheriting the sender's lane. This
+        is the transport seam the conservative kernel synchronizes on.
+        """
+        post = getattr(self.sim, "post", None)
+        if post is None:
+            raise TypeError(
+                "attach_lanes needs a lane-aware simulator (LanedSimulator)"
+            )
+        self._lane_of_group = [
+            plan.lane_of_group(g) for g in range(plan.n_groups)
+        ]
+        self._post = post
 
     def _require_registered(self, addr: NodeAddress) -> None:
         if addr not in self._handlers:
@@ -322,6 +401,7 @@ class Network:
         msg = Message(src, dst, payload, size_bytes, msg_id, now)
         bits = size_bytes * 8
 
+        dst_lane = None
         if src.group == dst.group:
             quality = self.lan_quality
             lane_name = "lan_up"
@@ -345,6 +425,8 @@ class Network:
                 _, deliver_at = self._wan_down[dst].acquire(arrival, bits)
             else:
                 deliver_at = arrival
+            if self._lane_of_group is not None:
+                dst_lane = self._lane_of_group[dst.group]
 
         dropped = False
         if quality.loss_probability > 0 and self._rng.random() < quality.loss_probability:
@@ -354,7 +436,10 @@ class Network:
             deliver_at += self._rng.random() * quality.jitter
 
         if not dropped:
-            self.sim.schedule_at(deliver_at, self._deliver, msg)
+            if dst_lane is not None:
+                self._post(dst_lane, deliver_at, self._deliver, msg)
+            else:
+                self.sim.schedule_at(deliver_at, self._deliver, msg)
         if self.transmit_hook is not None:
             self.transmit_hook(
                 msg, lane_name, tx_start, tx_done, None if dropped else deliver_at
@@ -378,12 +463,11 @@ class Network:
         RNG draws) still happen in the exact same order as N ``send`` calls,
         so delivery times stay bit-identical.
         """
-        members = self._members(group)
         if src.group != group or src not in self._handlers:
             # Cross-group (or unregistered-sender error path): per-message
             # routing differs per destination, go through send().
             count = 0
-            for addr in members:
+            for addr in self._members(group):
                 if addr == src and not include_self:
                     continue
                 self.send(src, addr, payload, size_bytes)
@@ -392,10 +476,11 @@ class Network:
 
         if size_bytes < 0:
             raise ValueError("message size must be non-negative")
+        receivers = self._receivers(group, src, include_self)
         if src in self._crashed:
             # send() would drop each message at submission; fan-out count
             # is unchanged by the drop.
-            return len(members) - (0 if include_self else 1)
+            return len(receivers)
 
         now = self.sim.now
         bits = size_bytes * 8
@@ -409,9 +494,7 @@ class Network:
         deliver = self._deliver
         msg_id = self._next_msg_id
         count = 0
-        for addr in members:
-            if addr == src and not include_self:
-                continue
+        for addr in receivers:
             count += 1
             msg = Message(src, addr, payload, size_bytes, msg_id, now)
             msg_id += 1

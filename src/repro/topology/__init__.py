@@ -8,6 +8,7 @@ from repro.topology.presets import (
     nationwide_cluster,
     scaled_cluster,
     worldwide_cluster,
+    worldwide_scaled_cluster,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "nationwide_cluster",
     "scaled_cluster",
     "worldwide_cluster",
+    "worldwide_scaled_cluster",
 ]

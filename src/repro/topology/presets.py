@@ -101,3 +101,35 @@ def scaled_cluster(
         wan_bandwidth=wan_bandwidth,
         name=f"scaled-{n_groups}g",
     )
+
+
+def worldwide_scaled_cluster(
+    n_groups: int,
+    nodes_per_group: int = 7,
+    wan_bandwidth: float = WAN_20MBPS,
+) -> ClusterConfig:
+    """Worldwide-scale clusters beyond the paper's 3 regions (up to 64).
+
+    Used by the laned-kernel scaling sweep: a 32-group x 32-node instance
+    is a 1024-node planet-scale deployment. RTTs interpolate within the
+    worldwide range (145-206 ms), deterministically per pair, and the
+    wide latency floor gives the laned kernel a large conservative
+    lookahead (>= 72.5 ms one-way).
+    """
+    if not 2 <= n_groups <= 64:
+        raise ValueError("supported group counts: 2..64")
+    rtts: Dict[Tuple[int, int], float] = {}
+    lo, hi = 0.1450, 0.2060
+    for i in range(n_groups):
+        for j in range(i + 1, n_groups):
+            if (i, j) in WORLDWIDE_RTT and n_groups <= 3:
+                rtts[(i, j)] = WORLDWIDE_RTT[(i, j)]
+            else:
+                rtts[(i, j)] = lo + (hi - lo) * (((i * 11 + j * 17) % 16) / 16.0)
+    regions = [f"Region{i:02d}" for i in range(n_groups)]
+    return ClusterConfig(
+        groups=_uniform_groups([nodes_per_group] * n_groups, regions),
+        rtt_matrix=rtts,
+        wan_bandwidth=wan_bandwidth,
+        name=f"worldwide-{n_groups}g",
+    )

@@ -1,0 +1,137 @@
+"""Classic vs laned kernel equivalence, verified across processes.
+
+The laned kernel is only admissible if it is a *drop-in*: for every
+scenario the classic kernel can run, the laned kernel — at any worker
+count — must produce bit-identical results. Each fingerprint runs in a
+fresh Python subprocess because transaction ids are drawn from a
+process-global counter: two deployments in one interpreter legitimately
+produce different state digests, so in-process comparison would be
+meaningless (see ``test_determinism.py``).
+
+The fingerprint covers the committed count, simulator event count,
+per-group observer state digests, the metrics summary, and the SHA-256
+of the exported span JSONL — any reordered event, RNG draw, or float
+expression between kernels shows up in at least one of these.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+
+FINGERPRINT_TEMPLATE = """
+import hashlib, json, pathlib, sys, tempfile
+sys.path.insert(0, {src!r})
+from repro.protocols import GeoDeployment, protocol_by_name
+from repro.topology import nationwide_cluster, scaled_cluster
+from repro.workloads import make_workload
+
+scenario = {scenario!r}
+if scenario == "fig08":
+    cluster = nationwide_cluster(nodes_per_group=4)
+    load = 8_000.0
+else:
+    cluster = scaled_cluster(n_groups=3, nodes_per_group=5)
+    load = 1_500.0
+
+deployment = GeoDeployment(
+    cluster,
+    protocol_by_name("massbft"),
+    make_workload("ycsb-a"),
+    offered_load=load,
+    seed=7,
+    kernel={kernel!r},
+    workers={workers!r},
+)
+if scenario == "churn":
+    deployment.join_node_at(0, 0.25)
+    deployment.crash_node_at(1, 2, 0.35)
+tracer = deployment.attach_tracer()
+metrics = deployment.run(duration=0.8, warmup=0.2)
+digests = []
+for gid in range(deployment.n_groups):
+    store = deployment.observer_of(gid).pipeline.store
+    sample = sorted(store._data)[:64]
+    digests.append(store.state_digest(sample=sample).hex())
+
+from repro.obs.export import export_span_jsonl
+with tempfile.TemporaryDirectory() as tmp:
+    spans_path = export_span_jsonl(tracer.build(), str(pathlib.Path(tmp) / "spans.jsonl"))
+    span_bytes = pathlib.Path(spans_path).read_bytes()
+
+print(json.dumps({{
+    "committed": metrics.committed,
+    "events": deployment.sim.events_processed,
+    "digests": digests,
+    "summary": metrics.summary(),
+    "spans_sha256": hashlib.sha256(span_bytes).hexdigest(),
+    "span_count": span_bytes.count(b"\\n"),
+}}, sort_keys=True))
+"""
+
+
+def _fingerprint(scenario: str, kernel: str, workers: int = 1) -> dict:
+    script = FINGERPRINT_TEMPLATE.format(
+        src=SRC, scenario=scenario, kernel=kernel, workers=workers
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+@pytest.mark.parametrize("scenario", ["fig08", "churn"])
+def test_laned_kernel_is_bit_identical_to_classic(scenario):
+    classic = _fingerprint(scenario, "classic")
+    assert classic["committed"] > 0
+    assert classic["span_count"] > 0
+    for workers in (1, 2, 4):
+        laned = _fingerprint(scenario, "laned", workers=workers)
+        assert laned == classic, (
+            f"laned kernel (workers={workers}) diverged from classic "
+            f"on {scenario}"
+        )
+
+
+def test_lane_report_shows_conservative_execution():
+    """The strict kernel's cross-lane slack must clear the plan lookahead
+    on a real protocol run — proof the decoupled schedule is admissible."""
+    script = f"""
+import json, sys
+sys.path.insert(0, {SRC!r})
+from repro.protocols import GeoDeployment, protocol_by_name
+from repro.topology import nationwide_cluster
+from repro.workloads import make_workload
+
+deployment = GeoDeployment(
+    nationwide_cluster(nodes_per_group=4),
+    protocol_by_name("massbft"),
+    make_workload("ycsb-a"),
+    offered_load=8_000.0,
+    seed=7,
+    kernel="laned",
+)
+deployment.run(duration=0.8, warmup=0.2)
+print(json.dumps(deployment.lane_report(), sort_keys=True))
+"""
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    report = json.loads(proc.stdout)
+    assert report["cross_lane_posts"] > 0
+    assert report["conservative_ok"]
+    assert report["min_cross_slack"] >= report["lookahead"] - 1e-12
+    # Every per-group lane did real work (index 0 is the WAN lane).
+    assert all(count > 0 for count in report["events_by_lane"][1:])
