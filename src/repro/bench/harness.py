@@ -50,6 +50,7 @@ class RunResult:
     mean_latency_s: float
     p50_latency_s: float
     p99_latency_s: float
+    p999_latency_s: float
     committed: int
     abort_rate: float
     mean_batch_size: float
@@ -111,6 +112,7 @@ class ExperimentRunner:
             mean_latency_s=metrics.mean_latency,
             p50_latency_s=metrics.p50_latency,
             p99_latency_s=metrics.p99_latency,
+            p999_latency_s=metrics.p999_latency,
             committed=metrics.committed,
             abort_rate=metrics.abort_rate,
             mean_batch_size=metrics.mean_batch_size,
@@ -171,6 +173,7 @@ class ExperimentRunner:
             mean_latency_s=relaxed.mean_latency_s,
             p50_latency_s=relaxed.p50_latency_s,
             p99_latency_s=relaxed.p99_latency_s,
+            p999_latency_s=relaxed.p999_latency_s,
             committed=probe.committed,
             abort_rate=probe.abort_rate,
             mean_batch_size=probe.mean_batch_size,

@@ -40,8 +40,24 @@ class RunMetrics:
         self.entry_stamps: Dict[EntryId, Dict[str, float]] = {}
         self.entry_batch_waits: List[float] = []
         self.batch_sizes = Histogram("batch_size")
+        # Offered-vs-admitted-vs-committed accounting, fed from the load
+        # stage's ClientArrivals deltas (post-warmup). ``dropped_txns``
+        # is the ClientLoad drop counter surfaced here — one ledger, not
+        # two: client-timeout aging and priority shedding both land in
+        # it.
+        self.offered_txns = 0
+        self.admitted_txns = 0
         self.dropped_txns = 0
         self.end_time: Optional[float] = None
+        # Multi-tenant attribution (set up by configure_tenants).
+        self.tenant_names: Optional[List[str]] = None
+        self.tenant_priorities: List[int] = []
+        self.tenant_slos: List[float] = []
+        self.tenant_latency: List[Histogram] = []
+        self.tenant_committed: List[int] = []
+        self.tenant_offered: List[int] = []
+        self.tenant_admitted: List[int] = []
+        self.tenant_dropped: List[int] = []
         # Admission-gate telemetry: per-group running aggregates of the
         # QueueDepthsSampled snapshots ([count, wan_sum, wan_max,
         # cpu_sum, cpu_max]) and ProposalGated stall counts by reason.
@@ -99,8 +115,58 @@ class RunMetrics:
         if now >= self.warmup:
             self.aborted_attempts += count
 
-    def record_drop(self, count: int = 1) -> None:
-        self.dropped_txns += count
+    def configure_tenants(self, mix) -> None:
+        """Enable per-tenant accounting for a
+        :class:`repro.traffic.tenancy.TenantMix` (duck-typed: needs
+        ``tenants`` with name/priority/slo_p99_s)."""
+        tenants = list(mix.tenants)
+        self.tenant_names = [t.name for t in tenants]
+        self.tenant_priorities = [t.priority for t in tenants]
+        self.tenant_slos = [t.slo_p99_s for t in tenants]
+        self.tenant_latency = [
+            Histogram(f"latency_tenant_{t.name}") for t in tenants
+        ]
+        n = len(tenants)
+        self.tenant_committed = [0] * n
+        self.tenant_offered = [0] * n
+        self.tenant_admitted = [0] * n
+        self.tenant_dropped = [0] * n
+
+    def record_traffic(
+        self,
+        offered: int,
+        admitted: int,
+        dropped: int,
+        now: float,
+        offered_by_tenant=(),
+        admitted_by_tenant=(),
+        dropped_by_tenant=(),
+    ) -> None:
+        """One ClientArrivals delta from a group's admission pass."""
+        if now < self.warmup:
+            return
+        self.offered_txns += offered
+        self.admitted_txns += admitted
+        self.dropped_txns += dropped
+        if offered_by_tenant and self.tenant_names is not None:
+            for i, count in enumerate(offered_by_tenant):
+                self.tenant_offered[i] += count
+            for i, count in enumerate(admitted_by_tenant):
+                self.tenant_admitted[i] += count
+            for i, count in enumerate(dropped_by_tenant):
+                self.tenant_dropped[i] += count
+
+    def record_tenant_commits(self, commit_times, tenants, now: float) -> None:
+        """Per-tenant latency samples for one executed entry."""
+        if now < self.warmup or self.tenant_names is None:
+            return
+        committed = self.tenant_committed
+        hists = self.tenant_latency
+        for created_at, tenant in zip(commit_times, tenants):
+            committed[tenant] += 1
+            hist = hists[tenant]
+            hist.samples.append(now - created_at)
+            hist._sorted = False
 
     def stamp(self, entry_id: EntryId, phase: str, now: float) -> None:
         """Record a lifecycle timestamp for an entry."""
@@ -169,6 +235,16 @@ class RunMetrics:
     @property
     def p99_latency(self) -> float:
         return self.latency.p99
+
+    @property
+    def p999_latency(self) -> float:
+        return self.latency.p999
+
+    @property
+    def goodput(self) -> float:
+        """Committed (SLO-eligible) transactions per second — what an
+        overload benchmark plots against offered load."""
+        return self.throughput
 
     @property
     def abort_rate(self) -> float:
@@ -250,13 +326,60 @@ class RunMetrics:
             rows.append(row)
         return rows
 
+    def traffic_summary(self) -> Dict[str, int]:
+        """Offered/admitted/committed/dropped accounting (post-warmup).
+
+        ``offered == admitted + dropped + still-queued-at-end``;
+        ``committed <= admitted`` (admitted work can still be in flight
+        when the run ends).
+        """
+        return {
+            "offered": self.offered_txns,
+            "admitted": self.admitted_txns,
+            "committed": self.committed,
+            "dropped": self.dropped_txns,
+        }
+
+    def tenant_rows(self) -> List[Dict[str, float]]:
+        """Per-tenant accounting + latency percentiles + SLO grade.
+
+        Empty unless :meth:`configure_tenants` ran. ``slo_met`` grades
+        the measured p99 against the tenant's own target.
+        """
+        if self.tenant_names is None:
+            return []
+        rows: List[Dict[str, float]] = []
+        for i, name in enumerate(self.tenant_names):
+            hist = self.tenant_latency[i]
+            p99 = hist.p99
+            rows.append(
+                {
+                    "tenant": name,
+                    "priority": self.tenant_priorities[i],
+                    "offered": self.tenant_offered[i],
+                    "admitted": self.tenant_admitted[i],
+                    "committed": self.tenant_committed[i],
+                    "dropped": self.tenant_dropped[i],
+                    "p50_latency_s": hist.p50,
+                    "p99_latency_s": p99,
+                    "p999_latency_s": hist.p999,
+                    "slo_p99_s": self.tenant_slos[i],
+                    "slo_met": bool(hist.count) and p99 <= self.tenant_slos[i],
+                }
+            )
+        return rows
+
     def summary(self) -> Dict[str, float]:
         return {
             "throughput_tps": self.throughput,
             "mean_latency_s": self.mean_latency,
             "p50_latency_s": self.p50_latency,
             "p99_latency_s": self.p99_latency,
+            "p999_latency_s": self.p999_latency,
             "committed": float(self.committed),
+            "offered": float(self.offered_txns),
+            "admitted": float(self.admitted_txns),
+            "dropped": float(self.dropped_txns),
             "abort_rate": self.abort_rate,
             "mean_batch_size": self.mean_batch_size,
         }

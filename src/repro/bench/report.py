@@ -76,6 +76,55 @@ def format_queue_gating(metrics, title: str = "admission gate (post-warmup)") ->
     return format_table(headers, table_rows, title=title)
 
 
+def format_traffic_accounting(metrics) -> str:
+    """One-line offered/admitted/committed/dropped summary.
+
+    Empty when the run recorded no offered traffic (e.g. warmup covered
+    the whole run, or an old metrics object without the accounting).
+    """
+    traffic = metrics.traffic_summary()
+    if not traffic["offered"]:
+        return ""
+    shed_pct = 100.0 * traffic["dropped"] / traffic["offered"]
+    return (
+        f"offered {traffic['offered']:,}  admitted {traffic['admitted']:,}  "
+        f"committed {traffic['committed']:,}  dropped {traffic['dropped']:,} "
+        f"({shed_pct:.1f}% shed)"
+    )
+
+
+def format_tenant_table(metrics, title: str = "per-tenant (post-warmup)") -> str:
+    """Per-tenant accounting + latency percentile table.
+
+    Empty for single-tenant runs (no tenant mix configured).
+    """
+    rows = metrics.tenant_rows()
+    if not rows:
+        return ""
+    headers = [
+        "tenant", "prio", "offered", "admitted", "committed", "dropped",
+        "p50_ms", "p99_ms", "p999_ms", "slo_p99_ms", "slo",
+    ]
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [
+                row["tenant"],
+                row["priority"],
+                row["offered"],
+                row["admitted"],
+                row["committed"],
+                row["dropped"],
+                row["p50_latency_s"] * 1000.0,
+                row["p99_latency_s"] * 1000.0,
+                row["p999_latency_s"] * 1000.0,
+                row["slo_p99_s"] * 1000.0,
+                "ok" if row["slo_met"] else "MISS",
+            ]
+        )
+    return format_table(headers, table_rows, title=title)
+
+
 def format_series(
     name: str,
     xs: Sequence[Any],

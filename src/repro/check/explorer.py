@@ -16,7 +16,12 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.check.invariants import InvariantSuite, Violation
-from repro.check.scenarios import FaultSchedule, ScenarioConfig, generate_schedule
+from repro.check.scenarios import (
+    FaultSchedule,
+    ScenarioConfig,
+    generate_schedule,
+    make_traffic,
+)
 from repro.check.trace import EventRecorder, read_trace, write_trace
 from repro.protocols import GeoDeployment, protocol_by_name
 from repro.sim.rng import RngRegistry
@@ -47,6 +52,11 @@ class CheckConfig:
     takeover_timeout: float = 1.0
     commit_slack: float = 2.0
     scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
+    #: Named offered-traffic regime ("" = legacy constant rate;
+    #: "saturation" = a flash crowd well over the provisioned rate, so
+    #: episodes exercise admission shedding alongside the fault budget).
+    #: Resolved by :func:`repro.check.scenarios.make_traffic`.
+    traffic: str = ""
 
     def to_jsonable(self) -> dict:
         data = asdict(self)
@@ -111,6 +121,7 @@ def run_episode(
         seed=seed,
         observers="all",
         takeover_timeout=config.takeover_timeout,
+        traffic=make_traffic(config.traffic, config),
     )
     suite = InvariantSuite.attach(deployment, commit_slack=config.commit_slack)
     if recorder_sink is not None:

@@ -210,6 +210,39 @@ def _round(t: float) -> float:
     return round(t, 4)
 
 
+def make_traffic(name: str, config):
+    """Resolve ``CheckConfig.traffic`` into an offered-traffic spec.
+
+    ``""`` keeps the legacy constant-rate clients (byte-identical to
+    every existing seed). ``"saturation"`` layers a regional flash crowd
+    — group 0 offered 6x the provisioned rate for a third of the episode,
+    squarely inside the fault window — so shedding, aging, and admission
+    gating all run *while* the generated fault schedule plays out. The
+    spec is pure data derived from ``config``; arrival randomness still
+    comes from the deployment's own seeded streams, so episodes stay
+    deterministic from (protocol, seed, config, schedule).
+    """
+    if not name:
+        return None
+    if name == "saturation":
+        # Imported lazily: the fault grammar itself must not depend on
+        # the traffic package.
+        from repro.traffic import TrafficSpec
+
+        base = config.offered_load
+        crowd = config.duration / 3.0
+        return TrafficSpec.flash_crowd(
+            base,
+            6.0 * base,
+            start=config.duration / 4.0,
+            duration=crowd,
+            n_groups=config.n_groups,
+            hot_groups=(0,),
+            ramp=min(0.1, crowd / 4.0),
+        )
+    raise ValueError(f"unknown traffic regime {name!r}")
+
+
 def generate_schedule(
     rng: random.Random, cluster: ClusterConfig, config: ScenarioConfig
 ) -> FaultSchedule:

@@ -18,7 +18,12 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.bench.report import format_queue_gating, format_table
+from repro.bench.report import (
+    format_queue_gating,
+    format_table,
+    format_tenant_table,
+    format_traffic_accounting,
+)
 from repro.core.transfer_plan import generate_transfer_plan
 from repro.obs.presets import PRESETS as TRACE_PRESETS
 from repro.protocols import GeoDeployment, protocol_by_name
@@ -146,6 +151,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(CI sensitivity check for the weak variant)",
     )
     check.add_argument(
+        "--saturation",
+        action="store_true",
+        help="drive each episode with a flash-crowd traffic spec offered "
+        "above the provisioned rate: safety invariants must hold under "
+        "sustained overload and client shedding",
+    )
+    check.add_argument(
         "--replay",
         metavar="TRACE",
         default=None,
@@ -249,6 +261,49 @@ def build_parser() -> argparse.ArgumentParser:
         "comparable across kernels and worker counts)",
     )
 
+    traffic = sub.add_parser(
+        "traffic",
+        help="internet-scale traffic scenario suite: steady, diurnal, "
+        "flash-crowd, hotspot-drift, multi-tenant, overload; emits "
+        "goodput-under-overload curves and per-tenant p99/p999 tables",
+    )
+    traffic.add_argument(
+        "--scenario",
+        default="all",
+        help="comma-separated scenario names, or 'all' "
+        "(steady, diurnal, flash-crowd, hotspot-drift, multi-tenant, "
+        "overload)",
+    )
+    traffic.add_argument("--seed", type=int, default=0)
+    traffic.add_argument(
+        "--kernel", choices=("classic", "laned"), default="classic"
+    )
+    traffic.add_argument(
+        "--lanes",
+        type=int,
+        default=None,
+        help="group-lane count for --kernel laned (default: one per group)",
+    )
+    traffic.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="lane-to-worker partition for --kernel laned",
+    )
+    traffic.add_argument(
+        "--quick", action="store_true", help="CI smoke preset (shorter runs)"
+    )
+    traffic.add_argument(
+        "--out-dir",
+        default=None,
+        metavar="DIR",
+        help="write one deterministic traffic_<scenario>.json per "
+        "scenario (e.g. benchmarks/); byte-identical across kernels",
+    )
+    traffic.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+
     trace = sub.add_parser(
         "trace",
         help="run one traced deployment; export a Perfetto-loadable "
@@ -336,6 +391,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"  p99 latency : {metrics.p99_latency * 1000:8.1f} ms")
     print(f"  abort rate  : {metrics.abort_rate:8.2%}")
     print(f"  WAN traffic : {deployment.network.wan_bytes_total / 1e6:8.1f} MB")
+    accounting = format_traffic_accounting(metrics)
+    if accounting:
+        print(f"  clients     : {accounting}")
     if args.breakdown:
         print("  latency breakdown:")
         for phase, seconds in sorted(metrics.phase_durations().items()):
@@ -367,6 +425,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     gate_table = format_queue_gating(metrics)
     if gate_table:
         print(gate_table)
+    tenant_table = format_tenant_table(metrics)
+    if tenant_table:
+        print(tenant_table)
     return 0
 
 
@@ -423,6 +484,8 @@ def cmd_check(args: argparse.Namespace) -> int:
         if args.max_churn_ops is not None:
             scenario_kw["max_churn_ops"] = args.max_churn_ops
         overrides["scenario"] = ScenarioConfig(**scenario_kw)
+    if args.saturation:
+        overrides["traffic"] = "saturation"
     config = CheckConfig(**overrides)
     protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
     results = explore(
@@ -626,6 +689,84 @@ def cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_traffic(args: argparse.Namespace) -> int:
+    # Imported lazily: the suite pulls in the whole runtime.
+    from repro.traffic.scenarios import SCENARIOS
+    from repro.traffic.suite import run_suite
+
+    if args.list:
+        for name, scenario in SCENARIOS.items():
+            print(f"{name:<14} {scenario.description}")
+        return 0
+    if args.scenario == "all":
+        names = list(SCENARIOS)
+    else:
+        names = [s.strip() for s in args.scenario.split(",") if s.strip()]
+        unknown = [n for n in names if n not in SCENARIOS]
+        if unknown:
+            print(f"unknown scenario(s): {', '.join(unknown)}")
+            print(f"available: {', '.join(SCENARIOS)}")
+            return 2
+    docs = run_suite(
+        names,
+        seed=args.seed,
+        kernel=args.kernel,
+        lanes=args.lanes,
+        workers=args.workers,
+        quick=args.quick,
+        out_dir=args.out_dir,
+        log=print,
+    )
+    for doc in docs:
+        rows = [
+            [
+                point["label"],
+                round(point["offered_tps"] / 1000, 2),
+                round(point["goodput_tps"] / 1000, 2),
+                point["dropped"],
+                round(point["p50_latency_s"] * 1000, 1),
+                round(point["p99_latency_s"] * 1000, 1),
+                round(point["p999_latency_s"] * 1000, 1),
+            ]
+            for point in doc["goodput_curve"]
+        ]
+        print(
+            format_table(
+                ["run", "offered_ktps", "goodput_ktps", "dropped",
+                 "p50_ms", "p99_ms", "p999_ms"],
+                rows,
+                title=f"\n{doc['scenario']}: {doc['description']} "
+                f"(seed {doc['seed']})",
+            )
+        )
+        for record in doc["runs"]:
+            if "tenants" not in record:
+                continue
+            print(
+                format_table(
+                    ["tenant", "prio", "offered", "admitted", "committed",
+                     "dropped", "p50_ms", "p99_ms", "p999_ms", "slo"],
+                    [
+                        [
+                            t["tenant"],
+                            t["priority"],
+                            t["offered"],
+                            t["admitted"],
+                            t["committed"],
+                            t["dropped"],
+                            round(t["p50_latency_s"] * 1000, 1),
+                            round(t["p99_latency_s"] * 1000, 1),
+                            round(t["p999_latency_s"] * 1000, 1),
+                            "ok" if t["slo_met"] else "MISS",
+                        ]
+                        for t in record["tenants"]
+                    ],
+                    title=f"{doc['scenario']}/{record['label']} tenants",
+                )
+            )
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     # Imported lazily: span building and exporters are only needed here.
     from repro.obs import (
@@ -725,6 +866,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "perf": cmd_perf,
         "scale": cmd_scale,
         "trace": cmd_trace,
+        "traffic": cmd_traffic,
     }
     return handlers[args.command](args)
 

@@ -46,6 +46,10 @@ class Transaction:
     created_at: float = 0.0
     tx_id: int = field(default_factory=lambda: next(_tx_ids))
     retries: int = 0
+    #: Tenant index under a multi-tenant traffic spec (0 otherwise).
+    #: Stamped by the load stage at arrival attribution; deliberately
+    #: outside the serialized identity so wire bytes are unchanged.
+    tenant: int = 0
     _size: int = field(default=0, init=False, repr=False, compare=False)
     _ser: bytes = field(default=b"", init=False, repr=False, compare=False)
 

@@ -17,6 +17,9 @@ Naming convention (slash-separated, stable across runs)::
     group/g0/wan_backlog_s           admission-gate snapshot (rep's NIC)
     group/g0/cpu_backlog_s           admission-gate snapshot (rep's CPU)
     group/g0/gated_total             cumulative held proposals
+    group/g0/load.offered            cumulative client arrivals offered
+    group/g0/load.admitted           cumulative arrivals admitted to batches
+    group/g0/load.dropped            cumulative client timeouts / sheds
 """
 
 from __future__ import annotations
@@ -116,5 +119,18 @@ class NicSampler:
                     f"group/g{gid}/epoch",
                     now,
                     float(membership.view_of(gid).epoch),
+                )
+            # Offered-traffic counters (reads of the ClientLoad ledger;
+            # cumulative, so overload episodes show as slope changes).
+            load = getattr(group, "load", None)
+            if load is not None:
+                registry.record(
+                    f"group/g{gid}/load.offered", now, float(load.offered)
+                )
+                registry.record(
+                    f"group/g{gid}/load.admitted", now, float(load.admitted)
+                )
+                registry.record(
+                    f"group/g{gid}/load.dropped", now, float(load.dropped)
                 )
         self.samples_taken += 1

@@ -89,6 +89,7 @@ class GeoDeployment:
         kernel: str = "classic",
         lanes: Optional[int] = None,
         workers: int = 1,
+        traffic: Optional[Any] = None,
     ) -> None:
         """``offered_load`` is client transactions/second *per group*;
         ``max_batch_txns`` defaults to one batch-timeout's worth of
@@ -100,7 +101,17 @@ class GeoDeployment:
         WAN synchronization; byte-identical outputs, plus a
         :meth:`lane_report`). ``lanes`` caps the group-lane count
         (default: one lane per group); ``workers`` is the bookkept lane
-        to worker partition."""
+        to worker partition.
+
+        ``traffic`` is an optional :class:`repro.traffic.TrafficSpec`
+        (duck-typed: anything with ``process_for(gid, rng)`` and a
+        ``tenants`` attribute works). When given, each group's arrivals
+        come from the spec's process instead of the constant metronome,
+        and tenant attribution/per-tenant metrics are enabled when the
+        spec carries a tenant mix. ``offered_load`` stays the envelope
+        rate used for batch sizing (pass ``traffic.offered_load(...)``).
+        When ``traffic`` is ``None`` nothing changes: the runtime never
+        imports :mod:`repro.traffic` and runs stay byte-identical."""
         if coding not in ("real", "simulated"):
             raise ValueError(f"unknown coding mode {coding!r}")
         if execution not in ("full", "modeled"):
@@ -112,6 +123,10 @@ class GeoDeployment:
         self.cluster = cluster
         self.spec = spec
         self.workload = workload
+        self.traffic = traffic
+        self.tenant_names = None
+        if traffic is not None and getattr(traffic, "tenants", None) is not None:
+            self.tenant_names = traffic.tenants.names
         if isinstance(offered_load, dict):
             self.offered_load = dict(offered_load)
         else:
@@ -163,6 +178,8 @@ class GeoDeployment:
         # Event bus + metrics (the bridge is just another subscriber).
         self.bus = EventBus()
         self.metrics = RunMetrics(self.n_groups)
+        if self.tenant_names is not None:
+            self.metrics.configure_tenants(traffic.tenants)
         self._metrics_bridge = MetricsBridge(self.bus, self.metrics)
 
         # Steward's deployment-wide slot token, shared by all groups.
@@ -192,12 +209,34 @@ class GeoDeployment:
                     node.cpu.rate = self.costs.cpu_cores
                     self.nodes[addr] = node
                     members.append(node)
-                load = ClientLoad(
-                    workload,
-                    rate=self.offered_load[group_cfg.gid],
-                    rng=self.rng.stream(f"load.g{group_cfg.gid}"),
-                    queue_seconds=client_queue_seconds,
-                )
+                gid = group_cfg.gid
+                if traffic is None:
+                    load = ClientLoad(
+                        workload,
+                        rate=self.offered_load[gid],
+                        rng=self.rng.stream(f"load.g{gid}"),
+                        queue_seconds=client_queue_seconds,
+                    )
+                else:
+                    # Dedicated streams per concern: arrival timing and
+                    # tenant attribution never perturb the workload's
+                    # own draw sequence (stream names are independent).
+                    tenants = traffic.tenants
+                    load = ClientLoad(
+                        workload,
+                        rate=self.offered_load[gid],
+                        rng=self.rng.stream(f"load.g{gid}"),
+                        queue_seconds=client_queue_seconds,
+                        process=traffic.process_for(
+                            gid, self.rng.stream(f"traffic.arrivals.g{gid}")
+                        ),
+                        tenants=tenants,
+                        tenant_rng=(
+                            self.rng.stream(f"traffic.tenants.g{gid}")
+                            if tenants is not None
+                            else None
+                        ),
+                    )
                 self.groups[group_cfg.gid] = GroupRuntime(
                     self, group_cfg.gid, members, load
                 )

@@ -68,7 +68,10 @@ class EntryExecuted:
     """The entry executed at its origin group's measurement observer.
 
     ``commit_times`` carries the ``created_at`` stamp of every committed
-    transaction so latency accounting needs no second lookup.
+    transaction so latency accounting needs no second lookup;
+    ``commit_tenants`` carries the matching tenant indices when the
+    deployment runs a multi-tenant traffic spec (empty otherwise, so
+    single-tenant runs allocate nothing extra).
     """
 
     entry_id: EntryId
@@ -76,6 +79,27 @@ class EntryExecuted:
     gid: int
     commit_times: Tuple[float, ...]
     aborted: int
+    commit_tenants: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class ClientArrivals:
+    """Offered/admitted/dropped arrival deltas since the last publish.
+
+    Published by the load stage after each admission pass; ``dropped``
+    counts client timeouts (queue aging / priority shedding). The
+    per-tenant tuples are populated only under a multi-tenant traffic
+    spec and are index-aligned with the deployment's tenant names.
+    """
+
+    gid: int
+    at: float
+    offered: int
+    admitted: int
+    dropped: int
+    offered_by_tenant: Tuple[int, ...] = ()
+    admitted_by_tenant: Tuple[int, ...] = ()
+    dropped_by_tenant: Tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -235,6 +259,7 @@ class MetricsBridge:
         bus.subscribe(EntryAvailableRemote, self._on_available_remote)
         bus.subscribe(EntryGloballyCommitted, self._on_global_committed)
         bus.subscribe(EntryExecuted, self._on_executed)
+        bus.subscribe(ClientArrivals, self._on_arrivals)
         bus.subscribe(QueueDepthsSampled, self._on_queue_depths)
         bus.subscribe(ProposalGated, self._on_gated)
 
@@ -255,6 +280,21 @@ class MetricsBridge:
         self.metrics.stamp(event.entry_id, "executed", event.at)
         self.metrics.record_commits(event.commit_times, event.at, event.gid)
         self.metrics.record_aborts(event.aborted, event.at)
+        if event.commit_tenants:
+            self.metrics.record_tenant_commits(
+                event.commit_times, event.commit_tenants, event.at
+            )
+
+    def _on_arrivals(self, event: ClientArrivals) -> None:
+        self.metrics.record_traffic(
+            event.offered,
+            event.admitted,
+            event.dropped,
+            event.at,
+            event.offered_by_tenant,
+            event.admitted_by_tenant,
+            event.dropped_by_tenant,
+        )
 
     def _on_queue_depths(self, event: QueueDepthsSampled) -> None:
         self.metrics.record_queue_sample(

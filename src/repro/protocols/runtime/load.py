@@ -8,76 +8,188 @@ consensus stage. Gate evaluations publish
 :class:`~repro.protocols.runtime.events.QueueDepthsSampled` /
 :class:`~repro.protocols.runtime.events.ProposalGated` so saturation
 behaviour is observable without instrumenting the stage.
+
+Arrivals come from a :class:`repro.traffic.arrivals.ArrivalProcess`.
+The constant-rate process short-circuits through a fast path whose float
+arithmetic is identical to the historical metronome, so existing seeded
+runs stay byte-identical; richer processes (Poisson, MMPP, flash
+crowds) and multi-tenant mixes go through a buffered admission queue
+with priority-aware shedding.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from collections import deque
+from typing import Deque, List, Optional, Tuple
 
 from repro.core.entry import LogEntry
 from repro.ledger.transactions import Transaction, serialize_batch
 from repro.protocols.runtime.events import (
+    ClientArrivals,
     EntryBatched,
     ProposalGated,
     QueueDepthsSampled,
 )
+from repro.traffic.arrivals import ArrivalProcess, ConstantRate
 from repro.workloads.base import Workload
 
 
 class ClientLoad:
     """Open-loop client arrivals for one group, generated lazily.
 
-    Arrival times are exact (one every ``1/rate`` seconds) but transaction
-    objects are only materialised when a batch forms, so no per-arrival
-    simulator events exist. A bounded backlog models client admission:
-    arrivals older than ``queue_seconds`` are dropped (clients time out),
-    keeping measured latency meaningful at saturation.
+    Arrival times come from ``process`` (default: one every ``1/rate``
+    seconds) but transaction objects are only materialised when a batch
+    forms, so no per-arrival simulator events exist. A bounded backlog
+    models client admission: arrivals older than ``queue_seconds`` are
+    dropped (clients time out), keeping measured latency meaningful at
+    saturation. With a :class:`~repro.traffic.tenancy.TenantMix`, every
+    arrival is attributed to a tenant (stamped on the transaction) and
+    shedding is priority-aware: when the batch cap binds, high-priority
+    tenants are admitted first and low-priority backlog ages out.
+
+    Offered/admitted/dropped counters account for every arrival the
+    process produced: ``offered == admitted + dropped + still-queued``.
     """
 
     def __init__(
         self,
         workload: Workload,
-        rate: float,
-        rng,
+        rate: Optional[float] = None,
+        rng=None,
         queue_seconds: float = 0.06,
+        process: Optional[ArrivalProcess] = None,
+        tenants=None,
+        tenant_rng=None,
     ) -> None:
-        if rate <= 0:
-            raise ValueError("offered rate must be positive")
+        if process is None:
+            if rate is None:
+                raise ValueError("need an offered rate or an arrival process")
+            process = ConstantRate(rate)  # validates rate > 0
         self.workload = workload
-        self.rate = rate
+        self.rate = rate if rate is not None else getattr(process, "rate", None)
         self.rng = rng
         self.queue_seconds = queue_seconds
-        self._next_arrival = 0.0
+        self.process = process
+        self.tenants = tenants
+        self.tenant_rng = tenant_rng
+        if tenants is not None and tenant_rng is None:
+            raise ValueError("a tenant mix needs its own rng stream")
+        self.offered = 0
+        self.admitted = 0
         self.dropped = 0
+        n_tenants = len(tenants) if tenants is not None else 0
+        self.offered_by_tenant = [0] * n_tenants
+        self.admitted_by_tenant = [0] * n_tenants
+        self.dropped_by_tenant = [0] * n_tenants
         self._gen = None
+        # The constant-rate/no-tenant fast path: identical float ops to
+        # the pre-traffic-subsystem hot loop, no admission buffer.
+        self._simple = isinstance(process, ConstantRate) and tenants is None
+        if self._simple:
+            self._queues: Tuple[Deque[Transaction], ...] = ()
+            self._queue_order: Tuple[int, ...] = ()
+        else:
+            # One FIFO per distinct priority, admitted best-first.
+            if tenants is None:
+                priorities = (0,)
+            else:
+                priorities = tuple(sorted(set(tenants.priorities)))
+            self._prio_index = {p: i for i, p in enumerate(priorities)}
+            self._queues = tuple(deque() for _ in priorities)
+            self._queue_order = tuple(
+                sorted(range(len(priorities)), key=lambda i: -priorities[i])
+            )
 
     def take(self, now: float, max_n: Optional[int] = None) -> List[Transaction]:
-        """Materialise the transactions that arrived by ``now``."""
-        # Age out arrivals beyond the admission queue.
-        horizon = now - self.queue_seconds
-        if self._next_arrival < horizon:
-            missed = int((horizon - self._next_arrival) * self.rate)
-            if missed > 0:
-                self.dropped += missed
-                self._next_arrival += missed / self.rate
-        # Saturated-load hot loop (one iteration per offered transaction):
-        # everything is bound to locals and the arrival clock accumulates
-        # in a local with the same sequence of float additions as before.
-        txns: List[Transaction] = []
-        append = txns.append
+        """Materialise the transactions admitted by ``now``."""
+        if self._simple:
+            return self._take_simple(now, max_n)
+        return self._take_buffered(now, max_n)
+
+    # ------------------------------------------------------------------
+    # Fast path: constant rate, single tenant class
+    # ------------------------------------------------------------------
+
+    def _take_simple(self, now: float, max_n: Optional[int]) -> List[Transaction]:
+        process = self.process
+        # Age out arrivals beyond the admission queue (they never
+        # materialise, so they consume no workload rng draws).
+        missed = process.drop_until(now - self.queue_seconds)
+        if missed:
+            self.offered += missed
+            self.dropped += missed
         gen = self._gen
         if gen is None:
             gen = self._gen = self.workload.generator_for(self.rng)
-        step = 1.0 / self.rate
-        next_arrival = self._next_arrival
-        n = 0
-        while next_arrival <= now:
-            if n == max_n:  # max_n=None never equals an int: no cap
-                break
-            append(gen(next_arrival))
-            n += 1
-            next_arrival += step
-        self._next_arrival = next_arrival
+        # Saturated-load hot loop (one iteration per offered transaction):
+        # the arrival clock accumulates inside ``take_until`` with the
+        # same sequence of float additions as before.
+        txns = [gen(t) for t in process.take_until(now, max_n)]
+        n = len(txns)
+        self.offered += n
+        self.admitted += n
+        return txns
+
+    # ------------------------------------------------------------------
+    # Buffered path: arbitrary processes, tenants, priority shedding
+    # ------------------------------------------------------------------
+
+    def _take_buffered(self, now: float, max_n: Optional[int]) -> List[Transaction]:
+        gen = self._gen
+        if gen is None:
+            gen = self._gen = self.workload.generator_for(self.rng)
+        tenants = self.tenants
+        queues = self._queues
+        # 1. Materialise everything that arrived by now into the
+        #    admission queues. With tenants, attribution happens at
+        #    arrival time (a seeded coin over the rate shares) so shed
+        #    decisions and drop counts are tenant-attributable.
+        times = self.process.take_until(now)
+        self.offered += len(times)
+        if tenants is not None:
+            pick = tenants.pick
+            tenant_rng = self.tenant_rng
+            tenant_priorities = tenants.priorities
+            prio_index = self._prio_index
+            offered_by_tenant = self.offered_by_tenant
+            for t in times:
+                tenant = pick(tenant_rng)
+                offered_by_tenant[tenant] += 1
+                tx = gen(t)
+                tx.tenant = tenant
+                queues[prio_index[tenant_priorities[tenant]]].append(tx)
+        else:
+            queue = queues[0]
+            for t in times:
+                queue.append(gen(t))
+        # 2. Shed: drop queued arrivals older than the admission window
+        #    (clients time out). Queues are FIFO per priority, so aged
+        #    entries sit at the head.
+        horizon = now - self.queue_seconds
+        dropped_by_tenant = self.dropped_by_tenant
+        for queue in queues:
+            while queue and queue[0].created_at < horizon:
+                tx = queue.popleft()
+                self.dropped += 1
+                if tenants is not None:
+                    dropped_by_tenant[tx.tenant] += 1
+        # 3. Admit up to ``max_n``, highest priority first, FIFO within
+        #    a priority class.
+        txns: List[Transaction] = []
+        append = txns.append
+        budget = max_n if max_n is not None else -1
+        admitted_by_tenant = self.admitted_by_tenant
+        for index in self._queue_order:
+            queue = queues[index]
+            while queue:
+                if budget == 0:
+                    break
+                tx = queue.popleft()
+                append(tx)
+                if tenants is not None:
+                    admitted_by_tenant[tx.tenant] += 1
+                budget -= 1
+        self.admitted += len(txns)
         return txns
 
 
@@ -88,6 +200,15 @@ class LoadStage:
         self.group = group
         self.deployment = group.deployment
         self.load = load
+        # Snapshot of the load counters at the last published
+        # ClientArrivals event (offered, admitted, dropped).
+        self._published = (0, 0, 0)
+        n_tenants = len(load.tenants) if load and load.tenants is not None else 0
+        self._published_tenants = (
+            ((0,) * n_tenants, (0,) * n_tenants, (0,) * n_tenants)
+            if n_tenants
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Timer entry point
@@ -208,6 +329,40 @@ class LoadStage:
     # Proposal
     # ------------------------------------------------------------------
 
+    def _publish_arrivals(self, now: float) -> None:
+        """Publish the offered/admitted/dropped deltas since last time."""
+        load = self.load
+        offered, admitted, dropped = self._published
+        d_offered = load.offered - offered
+        d_dropped = load.dropped - dropped
+        if not d_offered and not d_dropped:
+            return
+        self._published = (load.offered, load.admitted, load.dropped)
+        tenant_deltas = ((), (), ())
+        if self._published_tenants is not None:
+            prev = self._published_tenants
+            cur = (
+                tuple(load.offered_by_tenant),
+                tuple(load.admitted_by_tenant),
+                tuple(load.dropped_by_tenant),
+            )
+            self._published_tenants = cur
+            tenant_deltas = tuple(
+                tuple(c - p for c, p in zip(cur[i], prev[i])) for i in range(3)
+            )
+        self.deployment.bus.publish(
+            ClientArrivals(
+                gid=self.group.gid,
+                at=now,
+                offered=d_offered,
+                admitted=load.admitted - admitted,
+                dropped=d_dropped,
+                offered_by_tenant=tenant_deltas[0],
+                admitted_by_tenant=tenant_deltas[1],
+                dropped_by_tenant=tenant_deltas[2],
+            )
+        )
+
     def try_propose(self) -> Optional[LogEntry]:
         if not self.window_allows():
             return None
@@ -215,6 +370,7 @@ class LoadStage:
         deployment = self.deployment
         now = group.sim.now
         txns = self.load.take(now, max_n=deployment.max_batch_txns)
+        self._publish_arrivals(now)
         if not txns:
             return None
         group.next_seq += 1

@@ -101,6 +101,13 @@ class OrderingExecStage:
             if node.gid == entry_id.gid and node.index == self.observer_index(
                 entry_id.gid
             ):
+                # Tenant attribution rides along only for multi-tenant
+                # traffic specs; single-tenant runs publish the same
+                # event shape (and bytes) as before.
+                if deployment.tenant_names is not None:
+                    tenants = tuple(tx.tenant for tx in result.committed)
+                else:
+                    tenants = ()
                 deployment.bus.publish(
                     EntryExecuted(
                         entry_id,
@@ -108,6 +115,7 @@ class OrderingExecStage:
                         entry_id.gid,
                         tuple(tx.created_at for tx in result.committed),
                         len(result.aborted),
+                        tenants,
                     )
                 )
             # Entries fully executed everywhere could be pruned; keeping

@@ -93,6 +93,11 @@ class Histogram:
         return self.percentile(99)
 
     @property
+    def p999(self) -> float:
+        """The 99.9th percentile — the tail SLOs are graded against."""
+        return self.percentile(99.9)
+
+    @property
     def max(self) -> float:
         """Largest sample, via the sorted path shared with percentile()."""
         if not self.samples:

@@ -1,0 +1,43 @@
+"""Time-varying key popularity: a rotating Zipf hot set.
+
+Real internet workloads do not keep the same hot keys forever — trending
+content moves. :class:`HotspotDrift` models this as a piecewise-constant
+rotation of the scrambled-Zipf key space: every ``rotate_interval``
+simulated seconds the whole popularity ranking shifts by ``stride``
+rows, so yesterday's cold keys become today's contended ones. The drift
+is a pure function of simulated time (no rng draws), which keeps the
+workload generator's draw order — and therefore every seeded run —
+unchanged in cadence while still exercising the executor's hot-key
+conflict path with a moving target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HotspotDrift:
+    """Rotate the hot keyset by ``stride`` rows every ``rotate_interval`` s."""
+
+    rotate_interval: float
+    stride: int
+
+    def __post_init__(self) -> None:
+        if self.rotate_interval <= 0:
+            raise ValueError("rotate_interval must be positive")
+        if self.stride <= 0:
+            raise ValueError("stride must be positive")
+
+    def offset_at(self, now: float) -> int:
+        """Row offset applied to scrambled keys at simulated time ``now``."""
+        return int(now / self.rotate_interval) * self.stride
+
+    def describe(self) -> dict:
+        return {
+            "rotate_interval": self.rotate_interval,
+            "stride": self.stride,
+        }
+
+
+__all__ = ["HotspotDrift"]

@@ -1,0 +1,248 @@
+"""The canonical traffic scenarios behind ``repro traffic``.
+
+Each scenario describes one traffic regime as a list of deployment runs
+(most scenarios are a single run; the overload scenario is a sweep over
+offered-load multipliers). Scenarios separate two rates on purpose:
+
+* the **offered** envelope — what clients generate, described by the
+  :class:`~repro.traffic.spec.TrafficSpec`;
+* the **provisioned** rate — what the deployment's admission path is
+  sized for (``offered_load`` / ``max_batch_txns``).
+
+Provisioning at the base rate while offering a spike is what makes
+overload real: arrivals beyond the admission capacity queue up, age
+past the client-timeout window, and are shed (priority-aware under a
+tenant mix). Every scenario is deterministic from ``(seed, scenario)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.traffic.hotspot import HotspotDrift
+from repro.traffic.spec import TrafficSpec
+from repro.traffic.tenancy import gold_silver_bronze
+
+#: Cluster shape shared by every scenario (small enough for CI smoke).
+N_GROUPS = 3
+NODES_PER_GROUP = 4
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """One deployment run inside a scenario."""
+
+    label: str
+    traffic: TrafficSpec
+    #: txns/s per group the admission path is provisioned for.
+    provisioned: float
+    duration: float
+    warmup: float
+    workload: str = "ycsb-a"
+    workload_kwargs: Dict = field(default_factory=dict)
+    protocol: str = "massbft"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named traffic regime: description + run builder."""
+
+    name: str
+    description: str
+    build: Callable[[bool], List[ScenarioRun]]
+
+    def runs(self, quick: bool = False) -> List[ScenarioRun]:
+        return self.build(quick)
+
+
+# ----------------------------------------------------------------------
+# Scenario definitions
+# ----------------------------------------------------------------------
+
+
+def _steady(quick: bool) -> List[ScenarioRun]:
+    """The legacy regime as a traffic spec: constant-rate arrivals.
+
+    ``TrafficSpec.constant`` routes through the byte-identical fast
+    path, so this run doubles as the compatibility proof for the
+    constant-rate process.
+    """
+    rate = 1200.0
+    duration, warmup = (1.2, 0.3) if quick else (2.0, 0.4)
+    return [
+        ScenarioRun(
+            label="steady",
+            traffic=TrafficSpec.constant(rate, n_groups=N_GROUPS),
+            provisioned=rate,
+            duration=duration,
+            warmup=warmup,
+        )
+    ]
+
+
+def _diurnal(quick: bool) -> List[ScenarioRun]:
+    """A compressed day: Poisson arrivals over a sinusoidal rate curve.
+
+    Provisioned at the base (mean) rate, so the daily crest runs ~50%
+    over capacity and the trough idles — the classic diurnal utilisation
+    see-saw.
+    """
+    from repro.traffic.arrivals import DiurnalCurve
+
+    base = 1200.0
+    duration, warmup = (1.2, 0.3) if quick else (2.4, 0.4)
+    curve = DiurnalCurve(base, amplitude=0.5, period=duration - warmup)
+    return [
+        ScenarioRun(
+            label="diurnal",
+            traffic=TrafficSpec.poisson(
+                curve,
+                n_groups=N_GROUPS,
+                name="diurnal",
+                detail={
+                    "process": "diurnal",
+                    "base": base,
+                    "amplitude": 0.5,
+                    "period": duration - warmup,
+                },
+            ),
+            provisioned=base,
+            duration=duration,
+            warmup=warmup,
+        )
+    ]
+
+
+def _flash_crowd(quick: bool) -> List[ScenarioRun]:
+    """A regional flash crowd: group 0 spikes to 4x while the other
+    regions idle at base. Provisioned at the base rate, so the spike
+    overruns admission capacity and the shed policy carries the hot
+    region through without starving the quiet ones."""
+    base = 1200.0
+    spike = 4800.0
+    duration, warmup = (1.4, 0.3) if quick else (2.2, 0.4)
+    start = warmup + 0.3
+    crowd = 0.8 if quick else 1.2
+    return [
+        ScenarioRun(
+            label="flash_crowd",
+            traffic=TrafficSpec.flash_crowd(
+                base,
+                spike,
+                start=start,
+                duration=crowd,
+                n_groups=N_GROUPS,
+                hot_groups=(0,),
+                ramp=0.1,
+            ),
+            provisioned=base,
+            duration=duration,
+            warmup=warmup,
+        )
+    ]
+
+
+def _hotspot_drift(quick: bool) -> List[ScenarioRun]:
+    """Poisson arrivals with a rotating Zipf hot keyset: every 0.4 s the
+    popularity ranking shifts, exercising the executor's hot-key
+    conflict path with a moving target (modeled Aria uses the declared
+    read/write sets, so drift shows up in abort accounting)."""
+    rate = 1500.0
+    duration, warmup = (1.2, 0.3) if quick else (2.0, 0.4)
+    drift = HotspotDrift(rotate_interval=0.4, stride=350_003)
+    return [
+        ScenarioRun(
+            label="hotspot_drift",
+            traffic=TrafficSpec.poisson(
+                rate,
+                n_groups=N_GROUPS,
+                hotspot=drift,
+                name="hotspot_drift",
+                detail={"process": "poisson", "rate": rate},
+            ),
+            provisioned=rate,
+            duration=duration,
+            warmup=warmup,
+            workload_kwargs={"hotspot": drift, "n_rows": 100_000},
+        )
+    ]
+
+
+def _multi_tenant(quick: bool) -> List[ScenarioRun]:
+    """Bursty MMPP arrivals shared by gold/silver/bronze tenants, offered
+    above the provisioned rate: sustained overload where the priority
+    shed policy must keep gold's p99 inside its SLO at bronze's expense.
+    """
+    states = ((4000.0, 0.25), (800.0, 0.5))
+    provisioned = 1500.0
+    duration, warmup = (1.4, 0.3) if quick else (2.4, 0.4)
+    return [
+        ScenarioRun(
+            label="multi_tenant",
+            traffic=TrafficSpec.mmpp(
+                states, n_groups=N_GROUPS, tenants=gold_silver_bronze()
+            ),
+            provisioned=provisioned,
+            duration=duration,
+            warmup=warmup,
+        )
+    ]
+
+
+def _overload(quick: bool) -> List[ScenarioRun]:
+    """The goodput-under-overload curve: Poisson arrivals swept from
+    well under to 3x over the provisioned rate. Goodput should track the
+    offered load up to capacity and plateau there while drops absorb the
+    excess — the saturation signature the admission gates exist for."""
+    provisioned = 1500.0
+    multipliers = (0.6, 1.0, 2.0) if quick else (0.6, 1.0, 1.5, 2.0, 3.0)
+    duration, warmup = (1.0, 0.25) if quick else (1.6, 0.3)
+    runs = []
+    for mult in multipliers:
+        offered = provisioned * mult
+        runs.append(
+            ScenarioRun(
+                label=f"x{mult:g}",
+                traffic=TrafficSpec.poisson(
+                    offered,
+                    n_groups=N_GROUPS,
+                    name="overload",
+                    detail={
+                        "process": "poisson",
+                        "rate": offered,
+                        "multiplier": mult,
+                    },
+                ),
+                provisioned=provisioned,
+                duration=duration,
+                warmup=warmup,
+            )
+        )
+    return runs
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario("steady", "constant-rate baseline (legacy-identical)", _steady),
+        Scenario("diurnal", "sinusoidal day/night rate curve", _diurnal),
+        Scenario("flash-crowd", "regional 4x spike on group 0", _flash_crowd),
+        Scenario("hotspot-drift", "rotating Zipf hot keyset", _hotspot_drift),
+        Scenario(
+            "multi-tenant",
+            "MMPP bursts over gold/silver/bronze SLO tenants",
+            _multi_tenant,
+        ),
+        Scenario("overload", "goodput-vs-offered-load sweep", _overload),
+    )
+}
+
+
+__all__ = [
+    "NODES_PER_GROUP",
+    "N_GROUPS",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioRun",
+]

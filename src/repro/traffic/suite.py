@@ -1,0 +1,195 @@
+"""Runner for the traffic scenario suite (the ``repro traffic`` CLI).
+
+Runs each :class:`~repro.traffic.scenarios.Scenario` on a deployment,
+collects offered/admitted/committed/dropped accounting, latency
+percentiles (p50/p99/p999, per tenant where applicable), and a
+goodput-vs-offered-load curve, and writes one deterministic JSON
+artifact per scenario under ``benchmarks/``.
+
+Artifacts are deliberately kernel-agnostic (no kernel/worker fields and
+no wall-clock stamps): the same ``(seed, scenario)`` must produce
+byte-identical files on the classic and laned kernels — CI diffs them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.traffic.scenarios import (
+    N_GROUPS,
+    NODES_PER_GROUP,
+    SCENARIOS,
+    ScenarioRun,
+)
+
+#: Decimal places for floats in artifacts (keeps files readable; the
+#: underlying values are already bit-identical across kernels).
+_DIGITS = 6
+
+
+def _rounded(value):
+    """Recursively round floats for artifact output."""
+    if isinstance(value, float):
+        return round(value, _DIGITS)
+    if isinstance(value, dict):
+        return {k: _rounded(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_rounded(v) for v in value]
+    return value
+
+
+def run_one(
+    run: ScenarioRun,
+    seed: int = 0,
+    kernel: str = "classic",
+    lanes: Optional[int] = None,
+    workers: int = 1,
+) -> Dict:
+    """Execute one scenario run and return its artifact record."""
+    from repro.protocols import GeoDeployment, protocol_by_name
+    from repro.topology import scaled_cluster
+    from repro.workloads import make_workload
+
+    traffic = run.traffic
+    deployment = GeoDeployment(
+        scaled_cluster(n_groups=N_GROUPS, nodes_per_group=NODES_PER_GROUP),
+        protocol_by_name(run.protocol),
+        make_workload(run.workload, **run.workload_kwargs),
+        offered_load={gid: run.provisioned for gid in range(N_GROUPS)},
+        seed=seed,
+        kernel=kernel,
+        lanes=lanes,
+        workers=workers,
+        traffic=traffic,
+    )
+    metrics = deployment.run(duration=run.duration, warmup=run.warmup)
+    measured = metrics.measured_duration()
+    offered_peak = sum(
+        traffic.peak_rate(gid) for gid in range(N_GROUPS)
+    )
+    record: Dict = {
+        "label": run.label,
+        "protocol": run.protocol,
+        "workload": run.workload,
+        "provisioned_tps_per_group": run.provisioned,
+        "offered_peak_tps_total": offered_peak,
+        "duration": run.duration,
+        "warmup": run.warmup,
+        "traffic": traffic.describe(),
+        "accounting": metrics.traffic_summary(),
+        "offered_tps": metrics.offered_txns / measured,
+        "goodput_tps": metrics.throughput,
+        "metrics": {
+            "p50_latency_s": metrics.p50_latency,
+            "p99_latency_s": metrics.p99_latency,
+            "p999_latency_s": metrics.p999_latency,
+            "mean_latency_s": metrics.mean_latency,
+            "abort_rate": metrics.abort_rate,
+            "mean_batch_size": metrics.mean_batch_size,
+        },
+    }
+    tenant_rows = metrics.tenant_rows()
+    if tenant_rows:
+        record["tenants"] = tenant_rows
+    return _rounded(record)
+
+
+def run_scenario(
+    name: str,
+    seed: int = 0,
+    kernel: str = "classic",
+    lanes: Optional[int] = None,
+    workers: int = 1,
+    quick: bool = False,
+    log=None,
+) -> Dict:
+    """Run every deployment run of one named scenario; return the artifact."""
+    scenario = SCENARIOS[name]
+    records: List[Dict] = []
+    for run in scenario.runs(quick):
+        if log is not None:
+            log(
+                f"  {scenario.name}/{run.label}: "
+                f"{run.traffic.name} traffic, provisioned "
+                f"{run.provisioned:.0f} tps/group, {run.duration}s"
+            )
+        records.append(
+            run_one(run, seed=seed, kernel=kernel, lanes=lanes, workers=workers)
+        )
+    curve = [
+        {
+            "label": r["label"],
+            "offered_tps": r["offered_tps"],
+            "goodput_tps": r["goodput_tps"],
+            "dropped": r["accounting"]["dropped"],
+            "p50_latency_s": r["metrics"]["p50_latency_s"],
+            "p99_latency_s": r["metrics"]["p99_latency_s"],
+            "p999_latency_s": r["metrics"]["p999_latency_s"],
+        }
+        for r in records
+    ]
+    return {
+        "scenario": scenario.name,
+        "description": scenario.description,
+        "seed": seed,
+        "quick": quick,
+        "cluster": {"groups": N_GROUPS, "nodes_per_group": NODES_PER_GROUP},
+        "goodput_curve": curve,
+        "runs": records,
+    }
+
+
+def write_artifact(doc: Dict, out_dir) -> Path:
+    """Write one scenario artifact as deterministic JSON."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"traffic_{doc['scenario'].replace('-', '_')}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def run_suite(
+    names=None,
+    seed: int = 0,
+    kernel: str = "classic",
+    lanes: Optional[int] = None,
+    workers: int = 1,
+    quick: bool = False,
+    out_dir=None,
+    log=None,
+) -> List[Dict]:
+    """Run the listed scenarios (default: all) and optionally write
+    artifacts; returns the artifact documents in run order."""
+    if names is None:
+        names = list(SCENARIOS)
+    docs = []
+    for name in names:
+        if log is not None:
+            log(f"scenario {name} (seed {seed}, kernel {kernel}):")
+        doc = run_scenario(
+            name,
+            seed=seed,
+            kernel=kernel,
+            lanes=lanes,
+            workers=workers,
+            quick=quick,
+            log=log,
+        )
+        if out_dir is not None:
+            path = write_artifact(doc, out_dir)
+            if log is not None:
+                log(f"  wrote {path}")
+        docs.append(doc)
+    return docs
+
+
+__all__ = [
+    "NODES_PER_GROUP",
+    "N_GROUPS",
+    "run_one",
+    "run_scenario",
+    "run_suite",
+    "write_artifact",
+]

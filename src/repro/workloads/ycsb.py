@@ -50,13 +50,22 @@ class YcsbWorkload(Workload):
         n_rows: int = 1_000_000,
         theta: float = 0.99,
         materialize_limit: int = 10_000,
+        hotspot=None,
     ) -> None:
+        """``hotspot`` is an optional drift schedule (duck-typed: any
+        object with ``offset_at(now) -> int``, e.g.
+        :class:`repro.traffic.hotspot.HotspotDrift`). It rotates the
+        scrambled-Zipf ranking by a time-dependent row offset so the hot
+        keyset moves during the run. Purely a post-scramble remap — no
+        extra rng draws — so cadence-identical to the undrifted
+        workload."""
         if not 0.0 <= read_fraction <= 1.0:
             raise ValueError(f"read fraction {read_fraction} outside [0, 1]")
         self.read_fraction = read_fraction
         self.n_rows = n_rows
         self.theta = theta
         self.materialize_limit = materialize_limit
+        self.hotspot = hotspot
         self.name = "ycsb-a" if read_fraction <= 0.5 else "ycsb-b"
         self._zipf: Dict[int, ZipfGenerator] = {}
         self._fast: Dict[int, tuple] = {}
@@ -106,6 +115,9 @@ class YcsbWorkload(Workload):
         alpha = sampler.alpha
         rank1_bound = 1.0 + 0.5 ** sampler.theta
         read_fraction = self.read_fraction
+        hotspot = self.hotspot
+        if hotspot is not None:
+            return self._drifting_generator(rng, hotspot)
 
         def gen(now: float) -> Transaction:
             u = random_draw()
@@ -117,6 +129,62 @@ class YcsbWorkload(Workload):
             else:
                 rank = int(n_rows * (eta * u - eta + 1.0) ** alpha)
             key = (rank * 0x9E3779B97F4A7C15 + 0x7F4A7C15) % n_rows
+            column = randbelow(N_COLUMNS)
+            storage_key = f"{TABLE}/{key}#field{column}"
+            if random_draw() < read_fraction:
+                return Transaction(
+                    kind="ycsb_read",
+                    read_keys=(storage_key,),
+                    write_keys=(),
+                    params={"key": key, "column": column},
+                    payload_bytes=READ_PAYLOAD,
+                    created_at=now,
+                )
+            return Transaction(
+                kind="ycsb_update",
+                read_keys=(),
+                write_keys=(storage_key,),
+                params={
+                    "key": key,
+                    "column": column,
+                    "value": f"upd:{randbelow(1 << 30)}".ljust(COLUMN_BYTES, "y"),
+                },
+                payload_bytes=UPDATE_PAYLOAD,
+                created_at=now,
+            )
+
+        return gen
+
+    def _drifting_generator(self, rng: random.Random, hotspot):
+        """The :meth:`generator_for` closure with hot-keyset drift.
+
+        A separate closure so the undrifted hot path above stays
+        untouched (and bit-identical). Draw order is unchanged — the
+        drift offset is a pure function of simulated time applied after
+        the scramble — so switching drift on/off changes *which* rows
+        are hot, never the rng stream.
+        """
+        sampler = self._sampler(rng)
+        random_draw = rng.random
+        randbelow = getattr(rng, "_randbelow", rng.randrange)
+        n_rows = self.n_rows
+        zetan = sampler.zetan
+        eta = sampler.eta
+        alpha = sampler.alpha
+        rank1_bound = 1.0 + 0.5 ** sampler.theta
+        read_fraction = self.read_fraction
+        offset_at = hotspot.offset_at
+
+        def gen(now: float) -> Transaction:
+            u = random_draw()
+            uz = u * zetan
+            if uz < 1.0:
+                rank = 0
+            elif uz < rank1_bound:
+                rank = 1
+            else:
+                rank = int(n_rows * (eta * u - eta + 1.0) ** alpha)
+            key = (rank * 0x9E3779B97F4A7C15 + 0x7F4A7C15 + offset_at(now)) % n_rows
             column = randbelow(N_COLUMNS)
             storage_key = f"{TABLE}/{key}#field{column}"
             if random_draw() < read_fraction:
@@ -167,6 +235,8 @@ class YcsbWorkload(Workload):
         # reordering any of it would change seeded runs.
         sample_scrambled, random_draw, randbelow = self._fast_methods(rng)
         key = sample_scrambled(self.n_rows)
+        if self.hotspot is not None:
+            key = (key + self.hotspot.offset_at(now)) % self.n_rows
         column = randbelow(N_COLUMNS)
         storage_key = f"{TABLE}/{key}#field{column}"
         if random_draw() < self.read_fraction:
