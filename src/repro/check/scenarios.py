@@ -140,7 +140,7 @@ class FaultSchedule:
                 deployment.partition_group_at(op.gid, op.at, op.until)
             elif op.kind == "slow_node":
                 deployment.set_node_bandwidth_at(
-                    NodeAddress(op.gid, op.index), op.bandwidth, op.at
+                    NodeAddress.of(op.gid, op.index), op.bandwidth, op.at
                 )
             elif op.kind == "join":
                 deployment.join_node_at(op.gid, op.at)

@@ -223,6 +223,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="laned-kernel worker count for the sim lane-scaling point",
     )
+    perf.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile the end-to-end point and embed the top cumulative "
+        "functions in the report",
+    )
 
     scale = sub.add_parser(
         "scale",
@@ -252,6 +258,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--sweep-groups",
         default="4,8,16,32",
         help="comma-separated group counts for --sweep",
+    )
+    scale.add_argument(
+        "--transport",
+        choices=("shm", "pipe"),
+        default=None,
+        help="inter-lane transport for forked laned runs "
+        "(default: REPRO_LANE_TRANSPORT or shm)",
+    )
+    scale.add_argument(
+        "--speedup-check",
+        action="store_true",
+        help="CI gate: assert the laned kernel with --lanes workers "
+        "beats one worker on wall-clock (skipped with a notice on "
+        "machines with fewer cores than workers)",
     )
     scale.add_argument(
         "--out",
@@ -572,6 +592,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
         log=print,
         end_to_end=not args.no_end_to_end,
         lanes=args.lanes,
+        profile=args.profile,
     )
     output = Path(args.output)
     write_report(report, output)
@@ -639,7 +660,28 @@ def cmd_scale(args: argparse.Namespace) -> int:
     # Imported lazily: the lane bench pulls in the sim + topology stack.
     import json
 
-    from repro.perf.lanebench import lane_scaling_sweep, scale_point
+    from repro.perf.lanebench import (
+        lane_scaling_sweep,
+        scale_point,
+        speedup_check,
+    )
+
+    if args.speedup_check:
+        workers = max(2, args.lanes)
+        record = speedup_check(
+            n_groups=args.groups,
+            nodes_per_group=args.nodes,
+            duration=args.duration,
+            workers=workers,
+            transport=args.transport,
+            log=print,
+        )
+        if args.out is not None:
+            Path(args.out).write_text(
+                json.dumps(record, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"wrote {args.out}")
+        return 0 if record["ok"] else 1
 
     if args.sweep:
         counts = tuple(
@@ -657,6 +699,7 @@ def cmd_scale(args: argparse.Namespace) -> int:
             duration=args.duration,
             workers=workers,
             log=print,
+            transport=args.transport,
         )
         if args.out is not None:
             Path(args.out).write_text(
@@ -674,6 +717,7 @@ def cmd_scale(args: argparse.Namespace) -> int:
         duration=args.duration,
         kernel=args.kernel,
         lanes=args.lanes,
+        transport=args.transport,
     )
     print(
         f"{args.kernel} kernel, {record['groups']} groups x "

@@ -44,7 +44,7 @@ from repro.costs import CostModel
 from repro.crypto.hashing import digest
 from repro.crypto.merkle import MerkleProof, MerkleTree
 from repro.erasure.reed_solomon import ReedSolomonCodec
-from repro.sim.network import Message
+from repro.sim.network import Message, NodeAddress
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.node import SimNode
@@ -277,18 +277,25 @@ class LeaderUnicastTransport(_TransportBase):
         sender = leader
         self.mark_origin_delivered(entry.entry_id)
         self._note_wan_routes(entry.gid)
-        for dst_gid in self.other_groups(entry.gid):
-            receivers = self.members[dst_gid][: self.faulty_bound(dst_gid) + 1]
-            for receiver in receivers:
-                genuine = not sender.byzantine
-                msg = EntryMessage(
-                    entry_id=entry.entry_id,
-                    entry_size=entry.size_bytes,
-                    cert_size=self.cert_size,
-                    genuine=genuine,
-                )
-                sender.send(receiver.addr, msg, msg.size_bytes)
-                self._count("wan_entry_copies")
+        # One payload object and one batched fan-out over every remote
+        # receiver: the leader's NIC drains in a single accumulate instead
+        # of per-copy acquires (same copy order, so same wire schedule).
+        msg = EntryMessage(
+            entry_id=entry.entry_id,
+            entry_size=entry.size_bytes,
+            cert_size=self.cert_size,
+            genuine=not sender.byzantine,
+        )
+        targets = [
+            receiver.addr
+            for dst_gid in self.other_groups(entry.gid)
+            for receiver in self.members[dst_gid][
+                : self.faulty_bound(dst_gid) + 1
+            ]
+        ]
+        if targets:
+            sender.send_fanout(targets, msg, msg.size_bytes)
+            self._count("wan_entry_copies", len(targets))
 
     def _make_wan_handler(self, node: "SimNode"):
         def handler(msg: Message) -> None:
@@ -350,6 +357,13 @@ class BijectiveTransport(LeaderUnicastTransport):
         src_gid = entry.gid
         self._note_wan_routes(src_gid)
         f1 = self.faulty_bound(src_gid)
+        # Group the (sender, receiver) pairs by sender so each sender's
+        # copies drain its NIC in one batched fan-out. Per-sender copy
+        # order (destination groups in route order) is unchanged, and the
+        # senders' queues are independent, so the wire schedule is the
+        # same as the per-pair loop.
+        per_sender: List[Tuple["SimNode", List[NodeAddress]]] = []
+        index_of: Dict[int, int] = {}
         for dst_gid in self.other_groups(src_gid):
             f2 = self.faulty_bound(dst_gid)
             pairs = min(
@@ -360,14 +374,21 @@ class BijectiveTransport(LeaderUnicastTransport):
                 receiver = self.members[dst_gid][k]
                 if sender.crashed:
                     continue
-                msg = EntryMessage(
-                    entry_id=entry.entry_id,
-                    entry_size=entry.size_bytes,
-                    cert_size=self.cert_size,
-                    genuine=not sender.byzantine,
-                )
-                sender.send(receiver.addr, msg, msg.size_bytes)
-                self._count("wan_entry_copies")
+                slot = index_of.get(k)
+                if slot is None:
+                    index_of[k] = len(per_sender)
+                    per_sender.append((sender, [receiver.addr]))
+                else:
+                    per_sender[slot][1].append(receiver.addr)
+        for sender, targets in per_sender:
+            msg = EntryMessage(
+                entry_id=entry.entry_id,
+                entry_size=entry.size_bytes,
+                cert_size=self.cert_size,
+                genuine=not sender.byzantine,
+            )
+            sender.send_fanout(targets, msg, msg.size_bytes)
+            self._count("wan_entry_copies", len(targets))
 
 
 # ----------------------------------------------------------------------

@@ -147,6 +147,13 @@ def _run_end_to_end(
     from repro.workloads import make_workload
 
     def one_run():
+        # The harness keeps cyclic GC off for low-noise timing, so each
+        # finished deployment (a cyclic object graph) lingers until
+        # collected. Collect *before* the timed region: otherwise every
+        # run measures the allocator wading through its predecessors'
+        # garbage, and later runs (historically the traced ones) absorb
+        # a spurious 50-70% "overhead" that is really heap bloat.
+        gc.collect()
         deployment = GeoDeployment(
             nationwide_cluster(nodes_per_group=7),
             protocol_by_name("massbft"),
@@ -187,16 +194,78 @@ def _run_end_to_end(
     return result
 
 
+def profile_end_to_end(
+    config: BenchConfig,
+    log: Optional[Callable[[str], None]] = None,
+    top: int = 25,
+) -> Dict[str, object]:
+    """cProfile one fig08 end-to-end run; return the top-N cumulative rows.
+
+    The ``repro perf --profile`` satellite: future perf work starts from
+    a measured hot-path table instead of guesses. The profiled run is
+    separate from the timed runs (profiling overhead would poison them).
+    """
+    import cProfile
+    import io
+    import pstats
+
+    from repro.protocols import GeoDeployment, protocol_by_name
+    from repro.topology import nationwide_cluster
+    from repro.workloads import make_workload
+
+    gc.collect()
+    deployment = GeoDeployment(
+        nationwide_cluster(nodes_per_group=7),
+        protocol_by_name("massbft"),
+        make_workload("ycsb-a"),
+        offered_load=30_000.0,
+        seed=0,
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    deployment.run(duration=config.e2e_duration, warmup=config.e2e_warmup)
+    profiler.disable()
+
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats("cumulative")
+    rows = []
+    for func in stats.fcn_list[:top]:  # (file, line, name), already sorted
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, line, name = func
+        short = filename.rsplit("/", 1)[-1]
+        rows.append(
+            {
+                "function": f"{short}:{line}({name})",
+                "calls": nc,
+                "tottime": round(tt, 6),
+                "cumtime": round(ct, 6),
+            }
+        )
+    if log:
+        log(f"profile (top {len(rows)} by cumulative time):")
+        log(f"  {'cumtime':>9} {'tottime':>9} {'calls':>10}  function")
+        for row in rows:
+            log(
+                f"  {row['cumtime']:9.3f} {row['tottime']:9.3f} "
+                f"{row['calls']:10d}  {row['function']}"
+            )
+    return {"sort": "cumulative", "top": rows}
+
+
 def run_perf(
     config: Optional[BenchConfig] = None,
     log: Optional[Callable[[str], None]] = None,
     end_to_end: bool = True,
     lanes: int = 2,
+    profile: bool = False,
 ) -> Dict[str, object]:
     """Run the full suite and return the report dict.
 
     ``lanes`` is the laned-kernel worker count for the ``sim`` section
     (the lane-scaling point; see :mod:`repro.perf.lanebench`).
+    ``profile`` additionally cProfiles one end-to-end run and embeds the
+    top cumulative functions in the report under ``"profile"``.
     """
     from repro.erasure import reed_solomon
     from repro.perf.lanebench import run_lane_bench
@@ -255,6 +324,8 @@ def run_perf(
                     f"(budget +{TRACE_OVERHEAD_TOLERANCE:.0%}, committed "
                     f"{'match' if report['trace_overhead']['committed_match'] else 'MISMATCH'})"
                 )
+            if profile:
+                report["profile"] = profile_end_to_end(config, log)
         return report
     finally:
         if gc_was_enabled:

@@ -125,7 +125,7 @@ def _crypto_kernels() -> List[Kernel]:
     from repro.sim.network import NodeAddress
 
     keystore = KeyStore(seed=0)
-    members = [NodeAddress(0, i) for i in range(7)]
+    members = [NodeAddress.of(0, i) for i in range(7)]
     for addr in members:
         keystore.register(addr)
     statement = b"pbft.g0:commit:42:" + _pattern_bytes(32, 3)

@@ -26,6 +26,7 @@ kernel's tie-breaking order.
 
 from __future__ import annotations
 
+import gc
 import os
 import struct
 import time
@@ -211,6 +212,9 @@ def run_classic(
         )
         groups[gid] = group
         group.install()
+    # Keep lingering garbage from earlier runs out of the timed region
+    # (the harness runs with cyclic GC off; see repro.perf.harness).
+    gc.collect()
     start = time.perf_counter()
     sim.run(until=duration)
     wall = time.perf_counter() - start
@@ -219,7 +223,11 @@ def run_classic(
 
 
 def run_laned(
-    cluster, nodes_per_group: int, duration: float, workers: int = 1
+    cluster,
+    nodes_per_group: int,
+    duration: float,
+    workers: int = 1,
+    transport: Optional[str] = None,
 ) -> Tuple[Dict[int, str], int, float]:
     """One lane per group on :class:`LanedEngine`; digests keyed by gid."""
     latency = _latency_fn(cluster)
@@ -233,7 +241,13 @@ def run_laned(
         )
         for gid in range(n_groups)
     }
-    engine = LanedEngine(factories, lookahead=plan.lookahead, workers=workers)
+    engine = LanedEngine(
+        factories,
+        lookahead=plan.lookahead,
+        workers=workers,
+        transport=transport,
+    )
+    gc.collect()
     start = time.perf_counter()
     result = engine.run(until=duration)
     wall = time.perf_counter() - start
@@ -247,6 +261,7 @@ def scale_point(
     duration: float = 0.5,
     kernel: str = "classic",
     lanes: int = 1,
+    transport: Optional[str] = None,
 ) -> Dict[str, Any]:
     """One sweep point as a deterministic, kernel-agnostic record.
 
@@ -259,7 +274,8 @@ def scale_point(
         digests, events, _wall = run_classic(cluster, nodes_per_group, duration)
     elif kernel == "laned":
         digests, events, _wall = run_laned(
-            cluster, nodes_per_group, duration, workers=max(1, lanes)
+            cluster, nodes_per_group, duration, workers=max(1, lanes),
+            transport=transport,
         )
     else:
         raise ValueError(f"unknown kernel {kernel!r}")
@@ -287,6 +303,7 @@ def lane_scaling_sweep(
     duration: float = 0.5,
     workers: int = 2,
     log: Optional[Callable[[str], None]] = None,
+    transport: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Fig 13-style sweep: events/s per kernel as groups scale.
 
@@ -304,7 +321,8 @@ def lane_scaling_sweep(
             cluster, nodes_per_group, duration, workers=1
         )
         forked_digests, forked_events, forked_wall = run_laned(
-            cluster, nodes_per_group, duration, workers=workers
+            cluster, nodes_per_group, duration, workers=workers,
+            transport=transport,
         )
         match = classic_digests == laned_digests == forked_digests
         point = {
@@ -337,10 +355,82 @@ def lane_scaling_sweep(
     }
 
 
+def speedup_check(
+    n_groups: int = 8,
+    nodes_per_group: int = 5,
+    duration: float = 0.5,
+    workers: int = 4,
+    repeats: int = 3,
+    transport: Optional[str] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """CI gate: forked laned kernel must beat one worker on wall-clock.
+
+    Runs the same workload at ``workers=1`` and ``workers=workers``
+    (best-of-``repeats`` each, interleaved so machine noise hits both
+    arms), cross-checks digests, and reports whether the multi-worker
+    run was strictly faster. When the machine has fewer cores than
+    ``workers`` the check is skipped with a notice rather than failed —
+    a 1-core CI runner cannot demonstrate parallel speedup.
+    """
+    cores = os.cpu_count() or 1
+    record: Dict[str, Any] = {
+        "groups": n_groups,
+        "nodes_per_group": nodes_per_group,
+        "duration": duration,
+        "workers": workers,
+        "cores": cores,
+        "repeats": repeats,
+    }
+    if cores < workers:
+        record.update(skipped=True, ok=True)
+        if log:
+            log(
+                f"speedup check SKIPPED: {cores} core(s) < {workers} "
+                f"workers (cannot demonstrate parallel speedup here)"
+            )
+        return record
+    cluster = worldwide_scaled_cluster(n_groups, nodes_per_group)
+    single_walls: List[float] = []
+    forked_walls: List[float] = []
+    single_digests = forked_digests = None
+    for _ in range(max(1, repeats)):
+        single_digests, _events, wall = run_laned(
+            cluster, nodes_per_group, duration, workers=1
+        )
+        single_walls.append(wall)
+        forked_digests, _events, wall = run_laned(
+            cluster, nodes_per_group, duration, workers=workers,
+            transport=transport,
+        )
+        forked_walls.append(wall)
+    single = min(single_walls)
+    forked = min(forked_walls)
+    match = single_digests == forked_digests
+    record.update(
+        skipped=False,
+        single_wall_s=single,
+        forked_wall_s=forked,
+        speedup=single / forked,
+        digest_match=match,
+        ok=match and forked < single,
+    )
+    if log:
+        log(
+            f"speedup check: workers=1 {single:.3f}s vs "
+            f"workers={workers} {forked:.3f}s -> "
+            f"{record['speedup']:.2f}x, digests "
+            f"{'match' if match else 'DIVERGED'} -> "
+            f"{'ok' if record['ok'] else 'FAILED'}"
+        )
+    return record
+
+
 def run_lane_bench(
     quick: bool = False,
     lanes: int = 2,
     log: Optional[Callable[[str], None]] = None,
+    transport: Optional[str] = None,
 ) -> Dict[str, Any]:
     """The ``repro perf`` "sim" section: one gated lane-scaling point.
 
@@ -356,12 +446,17 @@ def run_lane_bench(
     cluster = worldwide_scaled_cluster(n_groups, nodes_per_group=5)
     classic_digests, events, classic_wall = run_classic(cluster, 5, duration)
     laned_digests, laned_events, laned_wall = run_laned(
-        cluster, 5, duration, workers=max(1, lanes)
+        cluster, 5, duration, workers=max(1, lanes), transport=transport
     )
     result = {
         "groups": n_groups,
         "duration": duration,
         "lanes": max(1, lanes),
+        "transport": (
+            transport
+            or os.environ.get("REPRO_LANE_TRANSPORT", "").strip()
+            or "shm"
+        ),
         "cores": os.cpu_count() or 1,
         "events": events,
         "events_per_sec": events / classic_wall,

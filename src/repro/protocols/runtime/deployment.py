@@ -196,7 +196,7 @@ class GeoDeployment:
             with self.lane_context_of(group_cfg.gid):
                 members: List[GeoNode] = []
                 for index in range(group_cfg.n_nodes):
-                    addr = NodeAddress(group_cfg.gid, index)
+                    addr = NodeAddress.of(group_cfg.gid, index)
                     node = GeoNode(
                         self.sim,
                         self.network,

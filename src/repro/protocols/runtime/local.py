@@ -80,6 +80,11 @@ class LocalConsensusStage:
         group = self.group
         if not group.is_rep(node):
             return
+        # Nothing subscribes to ValueCertified in an untraced run (the
+        # metrics bridge ignores it); skip the event construction — and
+        # the quorum lookup feeding it — unless a tracer wants it.
+        if not group.deployment.bus.wants(ValueCertified):
+            return
         # Quorum is epoch-scoped: a certificate formed just before a
         # membership change must be judged against the quorum of the
         # epoch it was formed in, not whatever the group's size is when

@@ -133,7 +133,7 @@ class ReconfigStage:
         index = (
             max(a.index for a in deployment.nodes if a.group == gid) + 1
         )
-        addr = NodeAddress(gid, index)
+        addr = NodeAddress.of(gid, index)
         cfg = deployment.cluster.group(gid)
         node = GeoNode(
             self.sim,

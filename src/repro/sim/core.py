@@ -137,6 +137,26 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
         return self._queue.push(time, callback, args)
 
+    def schedule_volatile(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Fire-and-forget :meth:`schedule`: the event is recycled after it
+        runs, so callers must not retain (or cancel) a handle (the return
+        value exists only for lane tagging by subclasses). The hot
+        delivery/CPU paths use this to stop allocating an Event per
+        message."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self._queue.push_volatile(self._now + delay, callback, args)
+
+    def schedule_at_volatile(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Fire-and-forget :meth:`schedule_at` (see :meth:`schedule_volatile`)."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        return self._queue.push_volatile(time, callback, args)
+
     def set_timer(
         self,
         delay: float,
@@ -184,6 +204,7 @@ class Simulator:
         self._stopped = False
         processed_this_run = 0
         pop_until = self._queue.pop_before if exclusive else self._queue.pop_until
+        recycle = self._queue.recycle
         try:
             while not self._stopped:
                 if max_events is not None and processed_this_run >= max_events:
@@ -193,6 +214,8 @@ class Simulator:
                     break
                 self._now = event.time
                 event.callback(*event.args)
+                if event.volatile:
+                    recycle(event)
                 self.events_processed += 1
                 processed_this_run += 1
             if until is not None and self._now < until and not self._stopped:

@@ -28,7 +28,7 @@ class Event:
     when popped.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "lane")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "lane", "volatile")
 
     def __init__(
         self,
@@ -45,6 +45,11 @@ class Event:
         #: Owning event lane (``repro.sim.lanes``); None under the classic
         #: kernel. Repushed timer events keep their lane.
         self.lane: Any = None
+        #: Fire-and-forget events (no caller ever holds the handle, so no
+        #: one can cancel or re-arm them) are returned to the queue's
+        #: freelist right after their callback runs. Scheduled via
+        #: :meth:`EventQueue.push_volatile`.
+        self.volatile = False
 
     def cancel(self) -> None:
         """Mark this event so it will be skipped when its time comes."""
@@ -71,11 +76,13 @@ class EventQueue:
     deterministic FIFO tie-breaking.
     """
 
-    __slots__ = ("_heap", "_seq")
+    __slots__ = ("_heap", "_seq", "_free")
 
     def __init__(self) -> None:
         self._heap: list[Tuple[float, int, Event]] = []
         self._seq = 0
+        #: Recycled fire-and-forget events (see :meth:`push_volatile`).
+        self._free: list[Event] = []
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -94,6 +101,48 @@ class EventQueue:
         event = Event(time, seq, callback, args)
         heappush(self._heap, (time, seq, event))
         return event
+
+    def push_volatile(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+    ) -> Event:
+        """Schedule a fire-and-forget event, reusing a recycled one if any.
+
+        The returned event must not be retained, cancelled, or re-armed
+        by the caller: the run loop hands it back to the freelist the
+        moment its callback returns, after which its fields belong to the
+        next volatile event. Message deliveries and CPU-consumption
+        continuations — the two dominant allocation sources on saturated
+        runs — go through here. Sequence numbers come from the same
+        counter as :meth:`push`, so the deterministic total order is
+        unchanged.
+        """
+        if time < 0:
+            raise ValueError(f"cannot schedule event at negative time {time}")
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            event.lane = None
+        else:
+            event = Event(time, seq, callback, args)
+            event.volatile = True
+        heappush(self._heap, (time, seq, event))
+        return event
+
+    def recycle(self, event: Event) -> None:
+        """Return a fired volatile event to the freelist (run-loop only)."""
+        event.callback = None  # type: ignore[assignment]
+        event.args = ()
+        self._free.append(event)
 
     def repush(self, time: float, event: Event) -> Event:
         """Re-arm an already-fired event at a new ``time`` and return it.

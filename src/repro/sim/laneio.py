@@ -1,0 +1,528 @@
+"""Pickle-free inter-lane messaging: compact codec + shared-memory rings.
+
+The laned engine's multiprocessing hot path used to move Python objects
+with ``pickle`` over :func:`multiprocessing.Pipe` — per round, per
+worker: a request tuple, every inter-lane message, and a reply tuple,
+each paying pickle's generic object-graph walk. This module replaces
+that wire format with two independent pieces:
+
+* **Codec** — a struct-packed binary encoding of round requests/replies
+  and inter-lane message batches. The dominant cross-lane payload shapes
+  (``None``, ints, floats, bytes, str, and flat int tuples like the
+  ``(src_gid, seq)`` certificates of the scale bench) get fixed compact
+  records; anything else falls back to an embedded pickle blob, so the
+  codec is *total* — any picklable payload still round-trips. Message
+  batches are coalesced into one frame per round, grouped by
+  ``(src_lane, dst_lane)`` pair so lane ids are written once per pair
+  run, not once per message. Floats travel as their exact IEEE-754 bit
+  pattern (``struct`` ``d``), so arrival times — the deterministic merge
+  key — are reproduced bit-for-bit.
+
+* **Transport** — :class:`ShmChannel`, a bidirectional channel built
+  from two single-producer/single-consumer byte rings in
+  :mod:`multiprocessing.shared_memory` (one per direction), with a
+  ``Pipe`` retained for oversized-frame spill and as a selectable
+  fallback (:class:`PipeChannel`, same framed API). Ring signalling uses
+  one semaphore pair per direction; head/tail counters live in the
+  shared block and are only read under the ring lock, so no cross-
+  process atomicity assumptions are needed.
+
+Both transports carry the same codec frames; the engine picks one via
+``LanedEngine(transport=...)`` or the ``REPRO_LANE_TRANSPORT``
+environment variable.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: (arrival, src_lane, seq, dst_lane, payload) — mirrors lanes.InterLaneMsg.
+InterLaneMsg = Tuple[float, int, int, int, Any]
+
+# ----------------------------------------------------------------------
+# Payload codec
+# ----------------------------------------------------------------------
+
+_TAG_NONE = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_BYTES = 3
+_TAG_STR = 4
+_TAG_INT_TUPLE = 5
+_TAG_PICKLE = 6
+_TAG_U32_PAIR = 7  # the scale bench's (src_gid, seq) certificate shape
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+_U32_MAX = (1 << 32) - 1
+
+_pack_B = struct.Struct("<B").pack
+_pack_Bq = struct.Struct("<Bq").pack
+_pack_Bd = struct.Struct("<Bd").pack
+_pack_BI = struct.Struct("<BI").pack
+_pack_BII = struct.Struct("<BII").pack
+_pack_dQ = struct.Struct("<dQ").pack
+_unpack_dQ = struct.Struct("<dQ").unpack_from
+_pack_III = struct.Struct("<III").pack
+_unpack_III = struct.Struct("<III").unpack_from
+_pack_I = struct.Struct("<I").pack
+_unpack_I = struct.Struct("<I").unpack_from
+_unpack_q = struct.Struct("<q").unpack_from
+_unpack_d = struct.Struct("<d").unpack_from
+_unpack_II = struct.Struct("<II").unpack_from
+
+
+def _encode_payload(obj: Any, out: List[bytes]) -> None:
+    """Append the tagged encoding of one payload to ``out``."""
+    if obj is None:
+        out.append(_pack_B(_TAG_NONE))
+        return
+    kind = type(obj)
+    if kind is int:
+        if _I64_MIN <= obj <= _I64_MAX:
+            out.append(_pack_Bq(_TAG_INT, obj))
+            return
+    elif kind is float:
+        out.append(_pack_Bd(_TAG_FLOAT, obj))
+        return
+    elif kind is bytes:
+        out.append(_pack_BI(_TAG_BYTES, len(obj)))
+        out.append(obj)
+        return
+    elif kind is str:
+        raw = obj.encode("utf-8")
+        out.append(_pack_BI(_TAG_STR, len(raw)))
+        out.append(raw)
+        return
+    elif kind is tuple and len(obj) <= 255:
+        ints = all(
+            type(x) is int and _I64_MIN <= x <= _I64_MAX for x in obj
+        )
+        if ints:
+            if len(obj) == 2 and 0 <= obj[0] <= _U32_MAX and 0 <= obj[1] <= _U32_MAX:
+                out.append(_pack_BII(_TAG_U32_PAIR, obj[0], obj[1]))
+                return
+            out.append(_pack_B(_TAG_INT_TUPLE) + _pack_B(len(obj)))
+            out.append(struct.pack(f"<{len(obj)}q", *obj))
+            return
+    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    out.append(_pack_BI(_TAG_PICKLE, len(blob)))
+    out.append(blob)
+
+
+def _decode_payload(buf, offset: int) -> Tuple[Any, int]:
+    tag = buf[offset]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_INT:
+        return _unpack_q(buf, offset)[0], offset + 8
+    if tag == _TAG_FLOAT:
+        return _unpack_d(buf, offset)[0], offset + 8
+    if tag == _TAG_BYTES:
+        n = _unpack_I(buf, offset)[0]
+        offset += 4
+        return bytes(buf[offset : offset + n]), offset + n
+    if tag == _TAG_STR:
+        n = _unpack_I(buf, offset)[0]
+        offset += 4
+        return bytes(buf[offset : offset + n]).decode("utf-8"), offset + n
+    if tag == _TAG_U32_PAIR:
+        a, b = _unpack_II(buf, offset)
+        return (a, b), offset + 8
+    if tag == _TAG_INT_TUPLE:
+        arity = buf[offset]
+        offset += 1
+        values = struct.unpack_from(f"<{arity}q", buf, offset)
+        return values, offset + 8 * arity
+    if tag == _TAG_PICKLE:
+        n = _unpack_I(buf, offset)[0]
+        offset += 4
+        return pickle.loads(bytes(buf[offset : offset + n])), offset + n
+    raise ValueError(f"unknown payload tag {tag}")
+
+
+# ----------------------------------------------------------------------
+# Message-batch codec (one flush per round, grouped per lane pair)
+# ----------------------------------------------------------------------
+
+
+def encode_msgs(msgs: Sequence[InterLaneMsg]) -> bytes:
+    """Encode a round's inter-lane messages as one coalesced batch.
+
+    Messages are grouped by ``(src_lane, dst_lane)`` pair — the batched
+    flush: lane ids are written once per pair, and each message carries
+    only its ``(arrival, seq, payload)`` record. Grouping order does not
+    matter because :func:`decode_msgs` restores the deterministic
+    ``(arrival, src_lane, seq)`` merge order.
+    """
+    pairs: Dict[Tuple[int, int], List[InterLaneMsg]] = {}
+    for msg in msgs:
+        pairs.setdefault((msg[1], msg[3]), []).append(msg)
+    out: List[bytes] = [_pack_I(len(pairs))]
+    for (src_lane, dst_lane), group in sorted(pairs.items()):
+        out.append(_pack_III(src_lane, dst_lane, len(group)))
+        for arrival, _src, seq, _dst, payload in group:
+            out.append(_pack_dQ(arrival, seq))
+            _encode_payload(payload, out)
+    return b"".join(out)
+
+
+def decode_msgs(buf, offset: int = 0) -> List[InterLaneMsg]:
+    """Decode a batch back to ``(arrival, src_lane, seq, dst_lane,
+    payload)`` tuples in deterministic merge order."""
+    n_pairs = _unpack_I(buf, offset)[0]
+    offset += 4
+    msgs: List[InterLaneMsg] = []
+    append = msgs.append
+    for _ in range(n_pairs):
+        src_lane, dst_lane, count = _unpack_III(buf, offset)
+        offset += 12
+        for _ in range(count):
+            arrival, seq = _unpack_dQ(buf, offset)
+            offset += 16
+            payload, offset = _decode_payload(buf, offset)
+            append((arrival, src_lane, seq, dst_lane, payload))
+    msgs.sort(key=_merge_key)
+    return msgs
+
+
+def _merge_key(msg: InterLaneMsg) -> Tuple[float, int, int]:
+    return (msg[0], msg[1], msg[2])
+
+
+# ----------------------------------------------------------------------
+# Round-protocol frames
+# ----------------------------------------------------------------------
+
+REQ_START = 0x01
+REQ_ROUND = 0x02
+REQ_FINISH = 0x03
+REP_START = 0x11
+REP_ROUND = 0x12
+REP_BUDGET = 0x13
+REP_FINISH = 0x14
+REP_ERROR = 0x15
+
+_round_req = struct.Struct("<BdBq")  # op, horizon, final, budget (-1 = None)
+_round_rep = struct.Struct("<Bqd")  # op, processed, min_slack
+_budget_rep = struct.Struct("<Bqd")  # op, max_events, pending_time
+_floor_rec = struct.Struct("<IBd")  # lane, has_time, time
+
+
+def encode_start_request() -> bytes:
+    return _pack_B(REQ_START)
+
+
+def encode_finish_request() -> bytes:
+    return _pack_B(REQ_FINISH)
+
+
+def encode_round_request(
+    horizon: float,
+    final: bool,
+    msgs: Sequence[InterLaneMsg],
+    budget: Optional[int],
+) -> bytes:
+    head = _round_req.pack(
+        REQ_ROUND, horizon, final, -1 if budget is None else budget
+    )
+    return head + encode_msgs(msgs)
+
+
+def decode_round_request(
+    frame,
+) -> Tuple[float, bool, Optional[int], List[InterLaneMsg]]:
+    _op, horizon, final, budget = _round_req.unpack_from(frame, 0)
+    msgs = decode_msgs(frame, _round_req.size)
+    return horizon, bool(final), None if budget < 0 else budget, msgs
+
+
+def _encode_floors(floors: Dict[int, Optional[float]]) -> bytes:
+    out = [_pack_I(len(floors))]
+    for lane in sorted(floors):
+        time = floors[lane]
+        out.append(
+            _floor_rec.pack(lane, time is not None, 0.0 if time is None else time)
+        )
+    return b"".join(out)
+
+
+def _decode_floors(buf, offset: int) -> Tuple[Dict[int, Optional[float]], int]:
+    count = _unpack_I(buf, offset)[0]
+    offset += 4
+    floors: Dict[int, Optional[float]] = {}
+    for _ in range(count):
+        lane, has_time, time = _floor_rec.unpack_from(buf, offset)
+        offset += _floor_rec.size
+        floors[lane] = time if has_time else None
+    return floors, offset
+
+
+def encode_start_reply(floors: Dict[int, Optional[float]]) -> bytes:
+    return _pack_B(REP_START) + _encode_floors(floors)
+
+
+def decode_start_reply(frame) -> Dict[int, Optional[float]]:
+    floors, _ = _decode_floors(frame, 1)
+    return floors
+
+
+def encode_round_reply(
+    floors: Dict[int, Optional[float]],
+    outbound: Sequence[InterLaneMsg],
+    processed: int,
+    min_slack: float,
+) -> bytes:
+    return (
+        _round_rep.pack(REP_ROUND, processed, min_slack)
+        + _encode_floors(floors)
+        + encode_msgs(outbound)
+    )
+
+
+def decode_round_reply(
+    frame,
+) -> Tuple[Dict[int, Optional[float]], List[InterLaneMsg], int, float]:
+    _op, processed, min_slack = _round_rep.unpack_from(frame, 0)
+    floors, offset = _decode_floors(frame, _round_rep.size)
+    outbound = decode_msgs(frame, offset)
+    return floors, outbound, processed, min_slack
+
+
+def encode_budget_reply(max_events: int, pending_time: float) -> bytes:
+    return _budget_rep.pack(REP_BUDGET, max_events, pending_time)
+
+
+def decode_budget_reply(frame) -> Tuple[int, float]:
+    _op, max_events, pending = _budget_rep.unpack_from(frame, 0)
+    return max_events, pending
+
+
+def encode_finish_reply(result: Dict[int, Tuple[str, Dict[str, Any], int]]) -> bytes:
+    # Once per run, stats dicts are arbitrary — pickle is fine here.
+    return _pack_B(REP_FINISH) + pickle.dumps(
+        result, protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+def decode_finish_reply(frame) -> Dict[int, Tuple[str, Dict[str, Any], int]]:
+    return pickle.loads(bytes(frame[1:]))
+
+
+def encode_error_reply(message: str) -> bytes:
+    return _pack_B(REP_ERROR) + message.encode("utf-8")
+
+
+def decode_error_reply(frame) -> str:
+    return bytes(frame[1:]).decode("utf-8", errors="replace")
+
+
+def frame_op(frame) -> int:
+    return frame[0]
+
+
+# ----------------------------------------------------------------------
+# Shared-memory ring transport
+# ----------------------------------------------------------------------
+
+
+class FrameTooLarge(Exception):
+    """A frame exceeds the ring capacity (caller spills to the pipe)."""
+
+
+class ShmRing:
+    """Single-producer/single-consumer byte ring in shared memory.
+
+    Layout: 16-byte header (``head`` and ``tail`` as monotonically
+    increasing u64 byte counters) followed by ``capacity`` data bytes.
+    Frames are ``[u32 length][payload]``, wrapping freely. The producer
+    blocks on ``_space`` when full; the consumer blocks on ``_frames``
+    when empty. Both counters are read/written only under ``_lock``, so
+    correctness never depends on torn-read behaviour of the shared
+    block.
+    """
+
+    _HDR = 16
+
+    def __init__(self, ctx, capacity: int = 1 << 20) -> None:
+        from multiprocessing import shared_memory
+
+        if capacity < 64:
+            raise ValueError("ring capacity must be at least 64 bytes")
+        self.capacity = capacity
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=self._HDR + capacity
+        )
+        struct.pack_into("<QQ", self._shm.buf, 0, 0, 0)
+        self._frames = ctx.Semaphore(0)
+        self._space = ctx.Semaphore(0)
+        self._lock = ctx.Lock()
+        self._closed = False
+
+    # -- raw byte helpers ----------------------------------------------
+
+    def _read_counters(self) -> Tuple[int, int]:
+        with self._lock:
+            return struct.unpack_from("<QQ", self._shm.buf, 0)
+
+    def _write_at(self, pos: int, data: bytes) -> None:
+        """Copy ``data`` into the ring at byte counter ``pos`` (wraps)."""
+        buf = self._shm.buf
+        cap = self.capacity
+        start = pos % cap
+        first = min(len(data), cap - start)
+        buf[self._HDR + start : self._HDR + start + first] = data[:first]
+        if first < len(data):
+            rest = len(data) - first
+            buf[self._HDR : self._HDR + rest] = data[first:]
+
+    def _read_at(self, pos: int, n: int) -> bytes:
+        buf = self._shm.buf
+        cap = self.capacity
+        start = pos % cap
+        first = min(n, cap - start)
+        data = bytes(buf[self._HDR + start : self._HDR + start + first])
+        if first < n:
+            data += bytes(buf[self._HDR : self._HDR + n - first])
+        return data
+
+    # -- producer / consumer -------------------------------------------
+
+    def put(self, data: bytes) -> None:
+        need = 4 + len(data)
+        if need > self.capacity:
+            raise FrameTooLarge(
+                f"frame of {len(data)} bytes exceeds ring capacity "
+                f"{self.capacity}"
+            )
+        while True:
+            head, tail = self._read_counters()
+            if self.capacity - (head - tail) >= need:
+                break
+            self._space.acquire()  # consumer will signal progress
+        self._write_at(head, _pack_I(len(data)))
+        self._write_at(head + 4, data)
+        with self._lock:
+            struct.pack_into("<Q", self._shm.buf, 0, head + need)
+        self._frames.release()
+
+    def get(self) -> bytes:
+        self._frames.acquire()
+        with self._lock:
+            tail = struct.unpack_from("<Q", self._shm.buf, 8)[0]
+        n = _unpack_I(self._read_at(tail, 4), 0)[0]
+        data = self._read_at(tail + 4, n)
+        with self._lock:
+            struct.pack_into("<Q", self._shm.buf, 8, tail + 4 + n)
+        self._space.release()
+        return data
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._shm.close()
+
+    def unlink(self) -> None:
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+class _ChannelEnd:
+    """One side of a channel: framed send/recv with pipe spill.
+
+    Every ring frame starts with one flag byte: ``0`` means the payload
+    follows inline, ``1`` means the payload was too large for the ring
+    and travels via the side pipe (in order, so no reassembly logic).
+    """
+
+    __slots__ = ("_out", "_in", "_conn")
+
+    def __init__(self, out_ring: Optional[ShmRing], in_ring: Optional[ShmRing], conn) -> None:
+        self._out = out_ring
+        self._in = in_ring
+        self._conn = conn
+
+    def send_bytes(self, data: bytes) -> None:
+        if self._out is None:
+            self._conn.send_bytes(data)
+            return
+        if 4 + 1 + len(data) <= self._out.capacity:
+            self._out.put(b"\x00" + data)
+        else:
+            self._out.put(b"\x01")
+            self._conn.send_bytes(data)
+
+    def recv_bytes(self) -> bytes:
+        if self._in is None:
+            return self._conn.recv_bytes()
+        frame = self._in.get()
+        if frame[:1] == b"\x00":
+            return frame[1:]
+        return self._conn.recv_bytes()
+
+
+class ShmChannel:
+    """Bidirectional parent/child transport over two shm rings + a pipe."""
+
+    kind = "shm"
+
+    def __init__(self, ctx, capacity: int = 1 << 20) -> None:
+        self._to_child = ShmRing(ctx, capacity)
+        self._to_parent = ShmRing(ctx, capacity)
+        self._parent_conn, self._child_conn = ctx.Pipe()
+
+    def parent_end(self) -> _ChannelEnd:
+        return _ChannelEnd(self._to_child, self._to_parent, self._parent_conn)
+
+    def child_end(self) -> _ChannelEnd:
+        return _ChannelEnd(self._to_parent, self._to_child, self._child_conn)
+
+    def after_fork_parent(self) -> None:
+        """Drop the child's pipe end in the parent process."""
+        self._child_conn.close()
+
+    def close(self) -> None:
+        for ring in (self._to_child, self._to_parent):
+            ring.close()
+            ring.unlink()
+        self._parent_conn.close()
+
+
+class PipeChannel:
+    """The selectable fallback: same framed API over a plain Pipe."""
+
+    kind = "pipe"
+
+    def __init__(self, ctx, capacity: int = 0) -> None:
+        self._parent_conn, self._child_conn = ctx.Pipe()
+
+    def parent_end(self) -> _ChannelEnd:
+        return _ChannelEnd(None, None, self._parent_conn)
+
+    def child_end(self) -> _ChannelEnd:
+        return _ChannelEnd(None, None, self._child_conn)
+
+    def after_fork_parent(self) -> None:
+        self._child_conn.close()
+
+    def close(self) -> None:
+        self._parent_conn.close()
+
+
+def make_channel(ctx, transport: str, capacity: int = 1 << 20):
+    """Build the requested channel, falling back to pipe if shm fails."""
+    if transport == "shm":
+        try:
+            return ShmChannel(ctx, capacity)
+        except Exception:  # /dev/shm unavailable or exhausted
+            return PipeChannel(ctx)
+    if transport == "pipe":
+        return PipeChannel(ctx)
+    raise ValueError(f"unknown lane transport {transport!r} (shm|pipe)")

@@ -38,10 +38,12 @@ Three pieces live here:
 from __future__ import annotations
 
 import math
+import os
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.sim import laneio
 from repro.sim.core import SimulationBudgetExceeded, Simulator
 from repro.sim.events import Event
 
@@ -207,6 +209,33 @@ class LanedSimulator(Simulator):
         event.lane = self.current_lane
         return event
 
+    def schedule_volatile(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        event = super().schedule_volatile(delay, callback, *args)
+        event.lane = self.current_lane
+        return event
+
+    def schedule_at_volatile(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        event = super().schedule_at_volatile(time, callback, *args)
+        event.lane = self.current_lane
+        return event
+
+    def post_volatile(
+        self, lane: int, time: float, callback: Callable[..., None], *args: Any
+    ) -> None:
+        """Fire-and-forget :meth:`post` (cross-lane deliveries are never
+        cancelled, so the delivery events can live on the freelist)."""
+        event = super().schedule_at_volatile(time, callback, *args)
+        event.lane = lane
+        if lane != self.current_lane:
+            self.cross_lane_posts += 1
+            slack = time - self._now
+            if slack < self.min_cross_slack:
+                self.min_cross_slack = slack
+
     def post(
         self, lane: int, time: float, callback: Callable[..., None], *args: Any
     ) -> Event:
@@ -243,6 +272,7 @@ class LanedSimulator(Simulator):
         self._stopped = False
         processed_this_run = 0
         pop_until = self._queue.pop_before if exclusive else self._queue.pop_until
+        recycle = self._queue.recycle
         events_by_lane = self.events_by_lane
         try:
             while not self._stopped:
@@ -257,6 +287,8 @@ class LanedSimulator(Simulator):
                     self.current_lane = lane
                     events_by_lane[lane] += 1
                 event.callback(*event.args)
+                if event.volatile:
+                    recycle(event)
                 self.events_processed += 1
                 processed_this_run += 1
             if until is not None and self._now < until and not self._stopped:
@@ -418,35 +450,51 @@ class _LaneHost:
         }
 
 
-def _worker_main(conn, factories, lookahead) -> None:  # pragma: no cover - child process
-    """Multiprocessing worker: drive a :class:`_LaneHost` over a pipe."""
+def _worker_main(endpoint, factories, lookahead) -> None:  # pragma: no cover - child process
+    """Multiprocessing worker: drive a :class:`_LaneHost` over a channel.
+
+    The wire format is the struct-packed frame protocol of
+    :mod:`repro.sim.laneio` — no pickle on the per-round path. One frame
+    in, one frame out, so the parent's round barrier is a single
+    recv per worker.
+    """
     host = _LaneHost(factories, lookahead)
     try:
         while True:
-            cmd = conn.recv()
-            op = cmd[0]
-            if op == "start":
-                conn.send(("ok", host.start()))
-            elif op == "round":
-                _, horizon, final, inbound, max_events = cmd
+            frame = endpoint.recv_bytes()
+            op = laneio.frame_op(frame)
+            if op == laneio.REQ_START:
+                endpoint.send_bytes(laneio.encode_start_reply(host.start()))
+            elif op == laneio.REQ_ROUND:
+                horizon, final, budget, inbound = laneio.decode_round_request(
+                    frame
+                )
                 try:
                     floors, outbound, processed = host.run_round(
-                        horizon, final, inbound, max_events
+                        horizon, final, inbound, budget
                     )
                 except SimulationBudgetExceeded as exc:
-                    conn.send(("budget", exc.max_events, exc.pending_time))
-                else:
-                    conn.send(
-                        ("ok", floors, outbound, processed, host.min_post_slack)
+                    endpoint.send_bytes(
+                        laneio.encode_budget_reply(
+                            exc.max_events, exc.pending_time
+                        )
                     )
-            elif op == "finish":
-                conn.send(("ok", host.finish()))
+                else:
+                    endpoint.send_bytes(
+                        laneio.encode_round_reply(
+                            floors, outbound, processed, host.min_post_slack
+                        )
+                    )
+            elif op == laneio.REQ_FINISH:
+                endpoint.send_bytes(laneio.encode_finish_reply(host.finish()))
                 return
     except (EOFError, KeyboardInterrupt):
         return
     except Exception as exc:  # surface unexpected failures to the parent
         try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            endpoint.send_bytes(
+                laneio.encode_error_reply(f"{type(exc).__name__}: {exc}")
+            )
         except Exception:
             pass
 
@@ -464,9 +512,14 @@ class LanedEngine:
     any partition of lanes onto workers, in-process or across processes.
 
     ``workers > 1`` forks one process per worker (lane factories are
-    inherited; messages must be picklable). On a single-core host this
-    still exercises the full coordination path — the *speedup* simply
-    tracks the cores available.
+    inherited — fork means nothing is pickled on the way in). Cross-lane
+    messages travel as struct-packed :mod:`repro.sim.laneio` frames over
+    shared-memory rings by default (``transport="shm"``), with a plain
+    ``Pipe`` as the selectable fallback (``transport="pipe"``, or the
+    ``REPRO_LANE_TRANSPORT`` environment variable); both transports carry
+    identical frames, so digests never depend on the choice. On a
+    single-core host this still exercises the full coordination path —
+    the *speedup* simply tracks the cores available.
     """
 
     def __init__(
@@ -474,6 +527,7 @@ class LanedEngine:
         factories: Dict[int, Callable[[], Any]],
         lookahead: float,
         workers: int = 1,
+        transport: Optional[str] = None,
     ) -> None:
         if not factories:
             raise ValueError("need at least one lane")
@@ -489,6 +543,15 @@ class LanedEngine:
         self.factories = dict(factories)
         self.lookahead = lookahead
         self.workers = min(workers, len(factories))
+        self.transport = (
+            transport
+            or os.environ.get("REPRO_LANE_TRANSPORT", "").strip()
+            or "shm"
+        )
+        if self.transport not in ("shm", "pipe"):
+            raise ValueError(
+                f"unknown lane transport {self.transport!r} (shm|pipe)"
+            )
 
     # -- partitioning --------------------------------------------------
 
@@ -587,59 +650,95 @@ class LanedEngine:
 
         ctx = multiprocessing.get_context("fork")
         parts = self._partitions()
-        conns = []
+        links: List[Tuple[Any, Dict[int, Callable[[], Any]]]] = []
+        channels = []
         procs = []
         try:
             for part in parts:
-                parent, child = ctx.Pipe()
+                channel = laneio.make_channel(ctx, self.transport)
+                # Fork inherits the channel (shm block, semaphores, pipe)
+                # — Process args are never pickled under the fork method.
                 proc = ctx.Process(
                     target=_worker_main,
-                    args=(child, part, self.lookahead),
+                    args=(channel.child_end(), part, self.lookahead),
                     daemon=True,
                 )
                 proc.start()
-                child.close()
-                conns.append((parent, part))
+                channel.after_fork_parent()
+                channels.append(channel)
+                links.append((channel.parent_end(), part))
                 procs.append(proc)
 
+            start_frame = laneio.encode_start_request()
             floors: Dict[int, Optional[float]] = {}
-            for conn, _part in conns:
-                conn.send(("start",))
-                reply = conn.recv()
-                self._check(reply)
-                floors.update(reply[1])
+            for end, _part in links:
+                end.send_bytes(start_frame)
+            for end, _part in links:
+                floors.update(self._reply(end, laneio.decode_start_reply))
 
             min_slack = math.inf
 
             def do_round(horizon, final, inbound, budget):
                 nonlocal min_slack
-                for conn, part in conns:
+                # One coalesced flush per worker: every message bound for
+                # that worker's lanes rides one struct-packed frame.
+                for end, part in links:
                     msgs = [m for m in inbound if m[3] in part]
-                    conn.send(("round", horizon, final, msgs, budget))
+                    end.send_bytes(
+                        laneio.encode_round_request(
+                            horizon, final, msgs, budget
+                        )
+                    )
                 new_floors: Dict[int, Optional[float]] = {}
                 outbound: List[InterLaneMsg] = []
                 processed = 0
-                for conn, _part in conns:
-                    reply = conn.recv()
-                    self._check(reply)
-                    new_floors.update(reply[1])
-                    outbound.extend(reply[2])
-                    processed += reply[3]
-                    if reply[4] < min_slack:
-                        min_slack = reply[4]
+                failure: Optional[BaseException] = None
+                # Drain every worker's reply before raising: workers that
+                # answered normally are back in recv() and must be shut
+                # down with a finish frame, not abandoned mid-protocol.
+                for end, _part in links:
+                    try:
+                        floors_w, out_w, done_w, slack_w = self._reply(
+                            end, laneio.decode_round_reply
+                        )
+                    except (
+                        SimulationBudgetExceeded,
+                        RuntimeError,
+                    ) as exc:
+                        failure = failure or exc
+                        continue
+                    new_floors.update(floors_w)
+                    outbound.extend(out_w)
+                    processed += done_w
+                    if slack_w < min_slack:
+                        min_slack = slack_w
+                if failure is not None:
+                    raise failure
                 return new_floors, outbound, processed
 
-            events, rounds = self._coordinate(
-                floors, do_round, until, max_events
-            )
+            finish_frame = laneio.encode_finish_request()
+            try:
+                events, rounds = self._coordinate(
+                    floors, do_round, until, max_events
+                )
+            except BaseException:
+                # Graceful worker shutdown on any coordination failure —
+                # shm workers block on a semaphore, so unlike a pipe they
+                # never see EOF when the parent dies; tell them to exit.
+                for end, _part in links:
+                    try:
+                        end.send_bytes(finish_frame)
+                    except Exception:  # pragma: no cover - dead worker
+                        pass
+                raise
 
             digests: Dict[int, str] = {}
             stats: Dict[int, Dict[str, Any]] = {}
-            for conn, _part in conns:
-                conn.send(("finish",))
-                reply = conn.recv()
-                self._check(reply)
-                for lane, (digest, stat, _ev) in reply[1].items():
+            for end, _part in links:
+                end.send_bytes(finish_frame)
+            for end, _part in links:
+                finished = self._reply(end, laneio.decode_finish_reply)
+                for lane, (digest, stat, _ev) in finished.items():
                     digests[lane] = digest
                     stats[lane] = stat
             return EngineResult(
@@ -654,10 +753,22 @@ class LanedEngine:
                 proc.join(timeout=5.0)
                 if proc.is_alive():  # pragma: no cover - hung worker
                     proc.terminate()
+            for channel in channels:
+                try:
+                    channel.close()
+                except Exception:  # pragma: no cover - cleanup best-effort
+                    pass
 
     @staticmethod
-    def _check(reply) -> None:
-        if reply[0] == "budget":
-            raise SimulationBudgetExceeded(reply[1], reply[2])
-        if reply[0] == "error":
-            raise RuntimeError(f"lane worker failed: {reply[1]}")
+    def _reply(end, decoder):
+        """Receive one frame, surface budget/error frames, decode the rest."""
+        frame = end.recv_bytes()
+        op = laneio.frame_op(frame)
+        if op == laneio.REP_BUDGET:
+            max_events, pending = laneio.decode_budget_reply(frame)
+            raise SimulationBudgetExceeded(max_events, pending)
+        if op == laneio.REP_ERROR:
+            raise RuntimeError(
+                f"lane worker failed: {laneio.decode_error_reply(frame)}"
+            )
+        return decoder(frame)

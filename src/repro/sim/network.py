@@ -22,13 +22,24 @@ partitions, and per-node crash/bandwidth overrides (Fig 14, Fig 15).
 
 from __future__ import annotations
 
+import os
 from bisect import insort
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.core import Simulator
 from repro.sim.monitor import StatMonitor
 from repro.sim.rng import RngRegistry
+
+# Vectorized NIC-queue math rides numpy when present; REPRO_NO_NUMPY=1
+# forces the scalar path (the CI no-numpy leg proves bit-equivalence).
+try:
+    if os.environ.get("REPRO_NO_NUMPY"):
+        _np = None
+    else:
+        import numpy as _np
+except ImportError:  # pragma: no cover - numpy is baked into the image
+    _np = None
 
 #: Default LAN bandwidth within a data center (bits/second): 2.5 Gbps.
 DEFAULT_LAN_BANDWIDTH = 2.5e9
@@ -58,6 +69,26 @@ class NodeAddress:
 
     def __repr__(self) -> str:
         return f"N{self.group}.{self.index}"
+
+    @classmethod
+    def of(cls, group: int, index: int) -> "NodeAddress":
+        """Interned construction: one address object per (group, index).
+
+        Addresses are immutable values compared by content, so sharing
+        instances is invisible to callers — it just stops deployment
+        builders and per-run scenario code from re-allocating the same
+        few thousand addresses (plus their cached hashes) on every run.
+        """
+        key = (group, index)
+        addr = _ADDR_CACHE.get(key)
+        if addr is None:
+            addr = _ADDR_CACHE[key] = cls(group, index)
+        return addr
+
+
+#: Process-wide intern table for :meth:`NodeAddress.of` — bounded by the
+#: largest topology built in the process, not by run count.
+_ADDR_CACHE: Dict[Tuple[int, int], NodeAddress] = {}
 
 
 @dataclass(slots=True)
@@ -119,6 +150,50 @@ class ResourceQueue:
         self.busy_time += duration
         self.jobs += 1
         return start, finish
+
+    #: Below this batch size the numpy round trip costs more than it saves.
+    _BATCH_VECTOR_MIN = 8
+
+    def acquire_batch(self, now: float, amount: float, count: int) -> List[float]:
+        """``count`` back-to-back equal-size jobs; returns their finish times.
+
+        Bit-identical to ``count`` sequential :meth:`acquire` calls: after
+        the first job the queue is busy until at least ``now``, so every
+        later start equals the previous finish and the whole drain is one
+        left fold ``finish += duration``. ``np.add.accumulate`` *is* that
+        sequential left fold (ufunc accumulation is defined element-order
+        sequential), so the vector path reproduces the scalar timestamps
+        exactly — enforced by tests and the CI no-numpy leg. Results are
+        converted back to Python floats so no numpy scalar ever leaks
+        into event timestamps or JSON artifacts.
+        """
+        if count <= 0:
+            return []
+        duration = amount / self.rate
+        start = max(now, self.next_free)
+        first = start + duration
+        if _np is not None and count >= self._BATCH_VECTOR_MIN:
+            steps = _np.full(count, duration)
+            steps[0] = first
+            finishes = _np.add.accumulate(steps).tolist()
+            busy = _np.full(count + 1, duration)
+            busy[0] = self.busy_time
+            self.busy_time = float(_np.add.accumulate(busy)[-1])
+        else:
+            finishes = []
+            append = finishes.append
+            finish = first
+            busy_time = self.busy_time
+            append(finish)
+            busy_time += duration
+            for _ in range(count - 1):
+                finish = finish + duration
+                append(finish)
+                busy_time += duration
+            self.busy_time = busy_time
+        self.next_free = finishes[-1]
+        self.jobs += count
+        return finishes
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` this resource spent busy."""
@@ -192,6 +267,8 @@ class Network:
         #: Laned-kernel routing: group -> lane, set by attach_lanes().
         self._lane_of_group: Optional[List[int]] = None
         self._post: Optional[Callable[..., Any]] = None
+        #: Memoized one-way latencies by ordered (src_group, dst_group).
+        self._latency_cache: Dict[Tuple[int, int], float] = {}
         self._lan_up: Dict[NodeAddress, ResourceQueue] = {}
         self._wan_up: Dict[NodeAddress, ResourceQueue] = {}
         self._wan_ctl: Dict[NodeAddress, ResourceQueue] = {}
@@ -316,7 +393,10 @@ class Network:
         self._lane_of_group = [
             plan.lane_of_group(g) for g in range(plan.n_groups)
         ]
-        self._post = post
+        # Delivery events are fire-and-forget (crash handling filters at
+        # delivery time, nothing cancels them), so they ride the volatile
+        # freelist when the simulator provides it.
+        self._post = getattr(self.sim, "post_volatile", None) or post
 
     def _require_registered(self, addr: NodeAddress) -> None:
         if addr not in self._handlers:
@@ -358,14 +438,23 @@ class Network:
     # ------------------------------------------------------------------
 
     def one_way_latency(self, src_group: int, dst_group: int) -> float:
-        """One-way propagation delay between two groups (RTT/2)."""
-        if src_group == dst_group:
-            return self.lan_latency
-        key = (min(src_group, dst_group), max(src_group, dst_group))
-        rtt = self.rtt_matrix.get(key)
-        if rtt is None:
-            raise KeyError(f"no RTT configured for group pair {key}")
-        return rtt / 2.0
+        """One-way propagation delay between two groups (RTT/2).
+
+        Memoized per ordered pair: the RTT matrix and LAN latency are
+        fixed at construction, and this lookup sits on every WAN send.
+        """
+        latency = self._latency_cache.get((src_group, dst_group))
+        if latency is None:
+            if src_group == dst_group:
+                latency = self.lan_latency
+            else:
+                key = (min(src_group, dst_group), max(src_group, dst_group))
+                rtt = self.rtt_matrix.get(key)
+                if rtt is None:
+                    raise KeyError(f"no RTT configured for group pair {key}")
+                latency = rtt / 2.0
+            self._latency_cache[(src_group, dst_group)] = latency
+        return latency
 
     # ------------------------------------------------------------------
     # Message transmission
@@ -439,7 +528,7 @@ class Network:
             if dst_lane is not None:
                 self._post(dst_lane, deliver_at, self._deliver, msg)
             else:
-                self.sim.schedule_at(deliver_at, self._deliver, msg)
+                self.sim.schedule_at_volatile(deliver_at, self._deliver, msg)
         if self.transmit_hook is not None:
             self.transmit_hook(
                 msg, lane_name, tx_start, tx_done, None if dropped else deliver_at
@@ -489,10 +578,28 @@ class Network:
         quality = self.lan_quality
         loss_p = quality.loss_probability
         jitter = quality.jitter
-        rng = self._rng
-        schedule_at = self.sim.schedule_at
         deliver = self._deliver
         msg_id = self._next_msg_id
+        schedule_at = self.sim.schedule_at_volatile
+
+        if loss_p == 0 and jitter == 0:
+            # Deterministic drain: every receiver's NIC slot comes from one
+            # batched (numpy when available) accumulate over the equal-size
+            # bursts, bit-identical to the per-message acquire loop.
+            count = len(receivers)
+            finishes = lan_queue.acquire_batch(now, bits, count)
+            self.lan_bytes_total += size_bytes * count
+            for addr, tx_done in zip(receivers, finishes):
+                schedule_at(
+                    tx_done + latency,
+                    deliver,
+                    Message(src, addr, payload, size_bytes, msg_id, now),
+                )
+                msg_id += 1
+            self._next_msg_id = msg_id
+            return count
+
+        rng = self._rng
         count = 0
         for addr in receivers:
             count += 1
@@ -509,6 +616,93 @@ class Network:
             schedule_at(deliver_at, deliver, msg)
         self._next_msg_id = msg_id
         return count
+
+    def send_fanout(
+        self,
+        src: NodeAddress,
+        dsts: Sequence[NodeAddress],
+        payload: Any,
+        size_bytes: int,
+        priority: bool = False,
+    ) -> int:
+        """Send one payload from ``src`` to every address in ``dsts``.
+
+        The WAN fan-out hot path of the replication transports: when the
+        drain is deterministic (no loss, no jitter, no downstream limit,
+        no transmit hook) and every destination is cross-group, the
+        sender's NIC slots come from one :meth:`ResourceQueue.acquire_batch`
+        instead of per-message acquires — bit-identical to the equivalent
+        loop of :meth:`send` calls, including message-id allocation for
+        destinations swallowed by a partition (which, exactly like
+        ``send``, consume an id but no bandwidth). Anything stochastic or
+        instrumented falls back to that loop. Returns the fan-out count.
+        """
+        wan = self.wan_quality
+        handlers = self._handlers
+        if (
+            wan.loss_probability > 0
+            or wan.jitter > 0
+            or self.limit_downstream
+            or self.transmit_hook is not None
+            or any(dst.group == src.group for dst in dsts)
+        ):
+            for dst in dsts:
+                self.send(src, dst, payload, size_bytes, priority)
+            return len(dsts)
+
+        if src not in handlers:
+            raise KeyError(f"node {src} is not registered")
+        if size_bytes < 0:
+            raise ValueError("message size must be non-negative")
+        if src in self._crashed:
+            return len(dsts)
+
+        now = self.sim.now
+        src_group = src.group
+        partitioned = self._partitioned_groups
+        src_part = src_group in partitioned
+        msg_id = self._next_msg_id
+        live: List[Message] = []
+        for dst in dsts:
+            if dst not in handlers:
+                raise KeyError(f"node {dst} is not registered")
+            msg = Message(src, dst, payload, size_bytes, msg_id, now)
+            msg_id += 1
+            if src_part or dst.group in partitioned:
+                continue  # swallowed by the partition, id already burned
+            live.append(msg)
+        self._next_msg_id = msg_id
+        if not live:
+            return len(dsts)
+
+        bits = size_bytes * 8
+        queue = self._wan_ctl[src] if priority else self._wan_up[src]
+        finishes = queue.acquire_batch(now, bits, len(live))
+        sent_bytes = size_bytes * len(live)
+        self.wan_bytes_by_node[src] += sent_bytes
+        self.wan_bytes_total += sent_bytes
+        latency_of = self.one_way_latency
+        deliver = self._deliver
+        lane_of = self._lane_of_group
+        if lane_of is not None:
+            post = self._post
+            for msg, tx_done in zip(live, finishes):
+                dst_group = msg.dst.group
+                post(
+                    lane_of[dst_group],
+                    tx_done + latency_of(src_group, dst_group),
+                    deliver,
+                    msg,
+                )
+        else:
+            schedule_at = self.sim.schedule_at_volatile
+            for msg, tx_done in zip(live, finishes):
+                schedule_at(
+                    tx_done + latency_of(src_group, msg.dst.group),
+                    deliver,
+                    msg,
+                )
+        return len(dsts)
 
     def _deliver(self, msg: Message) -> None:
         if msg.dst in self._crashed or msg.src in self._crashed:

@@ -77,6 +77,24 @@ class SimNode:
             return
         self.network.send(self.addr, dst, payload, size_bytes, priority=priority)
 
+    def send_fanout(
+        self,
+        dsts: Any,
+        payload: Any,
+        size_bytes: int,
+        priority: bool = False,
+    ) -> None:
+        """Send one payload to many addresses (batched NIC accounting).
+
+        Same semantics as a loop of :meth:`send` calls — see
+        :meth:`repro.sim.network.Network.send_fanout`.
+        """
+        if self.crashed:
+            return
+        self.network.send_fanout(
+            self.addr, dsts, payload, size_bytes, priority=priority
+        )
+
     def broadcast_local(self, payload: Any, size_bytes: int) -> None:
         """Send to every other node in this node's own group via LAN."""
         if self.crashed:
@@ -100,11 +118,14 @@ class SimNode:
         """
         if seconds < 0:
             raise ValueError("CPU work must be non-negative")
+        # CPU completions are fire-and-forget (nothing ever cancels one;
+        # crash filtering happens in _run_if_alive), so they ride the
+        # volatile-event freelist.
         if seconds == 0:
-            self.sim.schedule(0.0, self._run_if_alive, then)
+            self.sim.schedule_volatile(0.0, self._run_if_alive, then)
             return
         _, finish = self.cpu.acquire(self.sim.now, seconds)
-        self.sim.schedule_at(finish, self._run_if_alive, then)
+        self.sim.schedule_at_volatile(finish, self._run_if_alive, then)
 
     def _run_if_alive(self, fn: Callable[[], None]) -> None:
         if not self.crashed:

@@ -1,0 +1,320 @@
+"""Tests for the pickle-free inter-lane codec and shm ring transport."""
+
+import math
+import multiprocessing
+import random
+import struct
+
+import pytest
+
+from repro.perf.lanebench import run_classic, run_laned
+from repro.sim import laneio
+from repro.sim.laneio import (
+    FrameTooLarge,
+    PipeChannel,
+    ShmChannel,
+    ShmRing,
+    decode_msgs,
+    encode_msgs,
+    make_channel,
+)
+from repro.topology import worldwide_scaled_cluster
+
+
+def _random_payload(rng: random.Random):
+    """One payload drawn from the codec's shape space, incl. fallbacks."""
+    kind = rng.randrange(10)
+    if kind == 0:
+        return None
+    if kind == 1:  # i64-range int (compact tag)
+        return rng.randint(-(1 << 63), (1 << 63) - 1)
+    if kind == 2:  # float, incl. awkward bit patterns
+        return rng.choice(
+            [rng.uniform(-1e18, 1e18), 0.0, -0.0, 1e-300, math.inf, 5e-324]
+        )
+    if kind == 3:
+        return rng.randbytes(rng.randrange(64))
+    if kind == 4:
+        return "".join(
+            chr(rng.randrange(32, 0x2FFF)) for _ in range(rng.randrange(32))
+        )
+    if kind == 5:  # u32 pair — the dominant (src_gid, seq) cert shape
+        return (rng.randrange(1 << 32), rng.randrange(1 << 32))
+    if kind == 6:  # flat i64 tuple
+        return tuple(
+            rng.randint(-(1 << 63), (1 << 63) - 1)
+            for _ in range(rng.randrange(8))
+        )
+    if kind == 7:  # oversized int -> pickle fallback
+        return rng.randint(1 << 64, 1 << 80)
+    if kind == 8:  # dict -> pickle fallback
+        return {"seq": rng.randrange(100), "tag": rng.randbytes(4)}
+    return [rng.randrange(10) for _ in range(rng.randrange(5))]  # pickle
+
+
+def _random_msgs(rng: random.Random, count: int, lanes: int = 5):
+    msgs = []
+    for seq in range(count):
+        msgs.append(
+            (
+                rng.uniform(0.0, 10.0),
+                rng.randrange(lanes),
+                seq,
+                rng.randrange(lanes),
+                _random_payload(rng),
+            )
+        )
+    return msgs
+
+
+class TestPayloadCodec:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            None,
+            0,
+            -1,
+            (1 << 63) - 1,
+            -(1 << 63),
+            1 << 70,  # overflows i64 -> pickle fallback
+            3.14159,
+            -0.0,
+            math.inf,
+            b"",
+            b"\x00\xff" * 10,
+            "",
+            "héllo ⚡",
+            (),
+            (7, 42),  # u32-pair fast shape
+            (0, (1 << 32) - 1),
+            (-3, 4),  # negative -> generic int tuple
+            (1, 2, 3, 4, 5),
+            ("mixed", 1),  # non-int tuple -> pickle
+            {"a": [1, 2]},  # pickle fallback
+        ],
+    )
+    def test_round_trip(self, payload):
+        out = []
+        laneio._encode_payload(payload, out)
+        decoded, offset = laneio._decode_payload(b"".join(out), 0)
+        assert decoded == payload
+        assert type(decoded) is type(payload)
+        assert offset == len(b"".join(out))
+
+    def test_float_bits_preserved(self):
+        # struct 'd' must reproduce the exact IEEE-754 pattern: arrival
+        # times are the deterministic merge key.
+        value = 0.1 + 0.2  # famously != 0.3
+        out = []
+        laneio._encode_payload(value, out)
+        decoded, _ = laneio._decode_payload(b"".join(out), 0)
+        assert struct.pack("<d", decoded) == struct.pack("<d", value)
+
+    def test_nan_round_trips(self):
+        out = []
+        laneio._encode_payload(math.nan, out)
+        decoded, _ = laneio._decode_payload(b"".join(out), 0)
+        assert math.isnan(decoded)
+
+    def test_fuzz_corpus(self):
+        rng = random.Random(0xC0DEC)
+        for _ in range(500):
+            payload = _random_payload(rng)
+            out = []
+            laneio._encode_payload(payload, out)
+            decoded, offset = laneio._decode_payload(b"".join(out), 0)
+            assert offset == len(b"".join(out))
+            if isinstance(payload, float) and math.isnan(payload):
+                assert math.isnan(decoded)
+            else:
+                assert decoded == payload
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(ValueError):
+            laneio._decode_payload(bytes([250]), 0)
+
+
+class TestMsgBatchCodec:
+    def test_empty_batch(self):
+        assert decode_msgs(encode_msgs([])) == []
+
+    def test_restores_merge_order(self):
+        rng = random.Random(7)
+        msgs = _random_msgs(rng, 200)
+        rng.shuffle(msgs)
+        decoded = decode_msgs(encode_msgs(msgs))
+        assert decoded == sorted(msgs, key=lambda m: (m[0], m[1], m[2]))
+
+    def test_fuzz_corpora(self):
+        for seed in range(20):
+            rng = random.Random(seed)
+            msgs = _random_msgs(rng, rng.randrange(1, 80))
+            decoded = decode_msgs(encode_msgs(msgs))
+            assert decoded == sorted(
+                msgs, key=lambda m: (m[0], m[1], m[2])
+            )
+
+    def test_lane_pair_header_written_once(self):
+        # 50 msgs on one (src, dst) pair: one 12-byte pair header, not 50.
+        msgs = [(float(i), 1, i, 2, None) for i in range(50)]
+        blob = encode_msgs(msgs)
+        # 4 (n_pairs) + 12 (pair) + 50 * (16 arrival/seq + 1 None tag)
+        assert len(blob) == 4 + 12 + 50 * 17
+
+
+class TestFrames:
+    def test_round_request(self):
+        rng = random.Random(3)
+        msgs = _random_msgs(rng, 30)
+        frame = laneio.encode_round_request(1.25, True, msgs, 5000)
+        assert laneio.frame_op(frame) == laneio.REQ_ROUND
+        horizon, final, budget, decoded = laneio.decode_round_request(frame)
+        assert horizon == 1.25 and final is True and budget == 5000
+        assert decoded == sorted(msgs, key=lambda m: (m[0], m[1], m[2]))
+
+    def test_round_request_none_budget(self):
+        frame = laneio.encode_round_request(0.5, False, [], None)
+        _, final, budget, msgs = laneio.decode_round_request(frame)
+        assert final is False and budget is None and msgs == []
+
+    def test_round_reply(self):
+        rng = random.Random(4)
+        floors = {1: 0.75, 2: None, 9: 1e-13}
+        outbound = _random_msgs(rng, 10)
+        frame = laneio.encode_round_reply(floors, outbound, 1234, 0.003)
+        assert laneio.frame_op(frame) == laneio.REP_ROUND
+        f2, out2, processed, slack = laneio.decode_round_reply(frame)
+        assert f2 == floors and processed == 1234 and slack == 0.003
+        assert out2 == sorted(outbound, key=lambda m: (m[0], m[1], m[2]))
+
+    def test_start_and_finish(self):
+        floors = {0: None, 3: 2.5}
+        frame = laneio.encode_start_reply(floors)
+        assert laneio.frame_op(frame) == laneio.REP_START
+        assert laneio.decode_start_reply(frame) == floors
+        result = {1: ("digest", {"events": 9}, 9)}
+        frame = laneio.encode_finish_reply(result)
+        assert laneio.frame_op(frame) == laneio.REP_FINISH
+        assert laneio.decode_finish_reply(frame) == result
+
+    def test_budget_and_error(self):
+        frame = laneio.encode_budget_reply(100000, 3.5)
+        assert laneio.frame_op(frame) == laneio.REP_BUDGET
+        assert laneio.decode_budget_reply(frame) == (100000, 3.5)
+        frame = laneio.encode_error_reply("worker 2: KeyError('x')")
+        assert laneio.frame_op(frame) == laneio.REP_ERROR
+        assert laneio.decode_error_reply(frame) == "worker 2: KeyError('x')"
+
+
+class TestShmRing:
+    def _ring(self, capacity=256):
+        return ShmRing(multiprocessing.get_context("fork"), capacity)
+
+    def test_frames_round_trip_with_wraparound(self):
+        ring = self._ring(capacity=256)
+        try:
+            rng = random.Random(11)
+            # Far more bytes than capacity: frames must wrap repeatedly.
+            for i in range(200):
+                data = rng.randbytes(rng.randrange(200))
+                ring.put(data)
+                assert ring.get() == data
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_multiple_queued_frames(self):
+        ring = self._ring(capacity=1024)
+        try:
+            frames = [bytes([i]) * (i * 7 % 90) for i in range(10)]
+            for frame in frames:
+                ring.put(frame)
+            assert [ring.get() for _ in frames] == frames
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_oversized_frame_raises(self):
+        ring = self._ring(capacity=64)
+        try:
+            with pytest.raises(FrameTooLarge):
+                ring.put(b"x" * 64)
+        finally:
+            ring.close()
+            ring.unlink()
+
+
+class TestChannels:
+    @pytest.mark.parametrize("factory", [ShmChannel, PipeChannel])
+    def test_both_directions(self, factory):
+        ctx = multiprocessing.get_context("fork")
+        channel = factory(ctx)
+        try:
+            parent, child = channel.parent_end(), channel.child_end()
+            parent.send_bytes(b"to-child")
+            assert child.recv_bytes() == b"to-child"
+            child.send_bytes(b"to-parent")
+            assert parent.recv_bytes() == b"to-parent"
+        finally:
+            channel.close()
+
+    def test_shm_spills_oversized_frames_to_pipe(self):
+        ctx = multiprocessing.get_context("fork")
+        channel = ShmChannel(ctx, capacity=128)
+        try:
+            parent, child = channel.parent_end(), channel.child_end()
+            big = bytes(range(256)) * 40  # 10240 bytes >> 128 capacity
+            parent.send_bytes(big)
+            parent.send_bytes(b"small-after")
+            assert child.recv_bytes() == big
+            assert child.recv_bytes() == b"small-after"
+        finally:
+            channel.close()
+
+    def test_make_channel_rejects_unknown(self):
+        ctx = multiprocessing.get_context("fork")
+        with pytest.raises(ValueError):
+            make_channel(ctx, "carrier-pigeon")
+
+    @pytest.mark.parametrize("transport", ["shm", "pipe"])
+    def test_make_channel_kinds(self, transport):
+        ctx = multiprocessing.get_context("fork")
+        channel = make_channel(ctx, transport)
+        try:
+            assert channel.kind in ("shm", "pipe")
+            if transport == "pipe":
+                assert channel.kind == "pipe"
+        finally:
+            channel.close()
+
+
+class TestKernelDigestEquivalence:
+    """Laned runs must match classic bit-for-bit, on every transport."""
+
+    def test_transports_and_worker_counts_agree(self):
+        cluster = worldwide_scaled_cluster(4, 3)
+        classic, events, _ = run_classic(cluster, 3, 0.15)
+        for workers in (1, 2, 4):
+            for transport in (None,) if workers == 1 else ("shm", "pipe"):
+                digests, laned_events, _ = run_laned(
+                    cluster, 3, 0.15, workers=workers, transport=transport
+                )
+                assert digests == classic, (workers, transport)
+                assert laned_events == events, (workers, transport)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fuzz_seed_sweep(self, seed):
+        # Topologies drawn per seed; classic and laned at 1/2/4 workers
+        # must agree exactly on every one of them.
+        rng = random.Random(seed)
+        n_groups = rng.choice([3, 4, 5, 6])
+        nodes = rng.choice([3, 4, 5])
+        duration = rng.choice([0.08, 0.12, 0.16])
+        cluster = worldwide_scaled_cluster(n_groups, nodes)
+        classic, events, _ = run_classic(cluster, nodes, duration)
+        for workers in (1, 2, 4):
+            digests, laned_events, _ = run_laned(
+                cluster, nodes, duration, workers=workers
+            )
+            assert digests == classic, (seed, workers)
+            assert laned_events == events, (seed, workers)

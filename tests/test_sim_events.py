@@ -57,6 +57,70 @@ class TestEventQueue:
         assert queue.pop() is None
 
 
+class TestVolatileEvents:
+    def test_fires_and_returns_to_freelist(self):
+        queue = EventQueue()
+        fired = []
+        queue.push_volatile(1.0, fired.append, ("v",))
+        event = queue.pop()
+        event.fire()
+        queue.recycle(event)
+        assert fired == ["v"]
+        assert event.callback is None and event.args == ()
+
+    def test_recycled_event_is_reused(self):
+        queue = EventQueue()
+        first = queue.push_volatile(1.0, lambda: None)
+        popped = queue.pop()
+        assert popped is first
+        queue.recycle(popped)
+        second = queue.push_volatile(2.0, lambda: None)
+        assert second is first  # same object, fresh fields
+        assert second.time == 2.0 and not second.cancelled
+        assert second.volatile
+
+    def test_shares_seq_counter_with_push(self):
+        # Interleaved volatile and plain pushes at one instant must fire
+        # in scheduling order: one tie-break counter, not two.
+        queue = EventQueue()
+        fired = []
+        queue.push(1.0, fired.append, ("a",))
+        queue.push_volatile(1.0, fired.append, ("b",))
+        queue.push(1.0, fired.append, ("c",))
+        queue.push_volatile(1.0, fired.append, ("d",))
+        while (event := queue.pop()) is not None:
+            event.fire()
+        assert fired == ["a", "b", "c", "d"]
+
+    def test_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push_volatile(-1.0, lambda: None)
+
+    def test_simulator_schedule_volatile(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_volatile(1.0, seen.append, "x")
+        sim.schedule_at_volatile(2.0, seen.append, "y")
+        sim.run_until_idle()
+        assert seen == ["x", "y"]
+        # Both events were recycled by the run loop.
+        assert len(sim._queue._free) == 2
+
+    def test_volatile_order_matches_plain_schedule(self):
+        # The same mixed schedule through volatile and plain paths must
+        # produce the same firing order.
+        def drive(sim, volatile):
+            seen = []
+            sched = sim.schedule_volatile if volatile else sim.schedule
+            for tag, delay in (("a", 0.2), ("b", 0.1), ("c", 0.2), ("d", 0.0)):
+                sched(delay, seen.append, tag)
+            sim.run_until_idle()
+            return seen
+
+        assert drive(Simulator(), True) == drive(Simulator(), False)
+
+
 class TestSimulator:
     def test_time_advances_to_event(self):
         sim = Simulator()

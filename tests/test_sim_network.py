@@ -197,3 +197,208 @@ class TestFailures:
         net.send(a, b, "x", 250_000)  # 50 ms at 40 Mbps
         sim.run_until_idle()
         assert inbox[b][0][0] == pytest.approx(0.065)
+
+
+def fanout_net(sim, **kwargs):
+    """Three groups, two nodes each; returns (net, nodes, inbox)."""
+    rtt = {(0, 1): 0.030, (0, 2): 0.050, (1, 2): 0.040}
+    net = Network(sim, rtt_matrix=rtt, wan_bandwidth=20e6, **kwargs)
+    nodes = {}
+    inbox = {}
+    for group in range(3):
+        for index in range(2):
+            addr = NodeAddress(group, index)
+            nodes[(group, index)] = addr
+            inbox[addr] = []
+            net.register(
+                addr,
+                lambda m, _addr=addr: inbox[_addr].append((sim.now, m.payload)),
+            )
+    return net, nodes, inbox
+
+
+class TestAcquireBatch:
+    @pytest.mark.parametrize("count", [1, 3, 7, 8, 20])
+    def test_matches_sequential_acquires(self, count):
+        # Below _BATCH_VECTOR_MIN (8) the scalar fold runs even with
+        # numpy present; at and above it the vectorized path must produce
+        # the exact same floats, counters, and job totals.
+        batch = ResourceQueue("batch", rate=10.0)
+        loop = ResourceQueue("loop", rate=10.0)
+        batch.acquire(0.0, 3.0)
+        loop.acquire(0.0, 3.0)
+        finishes = batch.acquire_batch(0.1, 5.0, count)
+        expected = [loop.acquire(0.1, 5.0)[1] for _ in range(count)]
+        assert finishes == expected
+        assert all(type(f) is float for f in finishes)
+        assert batch.next_free == loop.next_free
+        assert batch.busy_time == loop.busy_time
+        assert batch.jobs == loop.jobs
+
+    def test_idle_queue_starts_at_now(self):
+        queue = ResourceQueue("q", rate=10.0)
+        finishes = queue.acquire_batch(2.0, 5.0, 2)
+        assert finishes == [2.5, 3.0]
+
+    def test_scalar_path_bit_identical_to_numpy(self):
+        from repro.sim import network as network_mod
+
+        if network_mod._np is None:
+            pytest.skip("numpy unavailable: only the scalar path exists")
+        vec = ResourceQueue("vec", rate=7.3)
+        finishes_vec = vec.acquire_batch(0.013, 1.9, 16)
+        saved = network_mod._np
+        network_mod._np = None
+        try:
+            scalar = ResourceQueue("scalar", rate=7.3)
+            finishes_scalar = scalar.acquire_batch(0.013, 1.9, 16)
+        finally:
+            network_mod._np = saved
+        # Bit-equality, not approx: digests depend on exact timestamps.
+        assert finishes_vec == finishes_scalar
+        assert vec.next_free == scalar.next_free
+        assert vec.busy_time == scalar.busy_time
+
+
+class TestSendFanout:
+    DSTS = [(1, 0), (1, 1), (2, 0), (2, 1)]
+
+    def _deliveries(self, use_fanout, prepare=None, priority=False):
+        sim = Simulator()
+        net, nodes, inbox = fanout_net(sim)
+        src = nodes[(0, 0)]
+        dsts = [nodes[key] for key in self.DSTS]
+        if prepare is not None:
+            prepare(net, nodes)
+        if use_fanout:
+            count = net.send_fanout(src, dsts, "pay", 25_000, priority=priority)
+            assert count == len(dsts)
+        else:
+            for dst in dsts:
+                net.send(src, dst, "pay", 25_000, priority=priority)
+        # A follow-up message exposes any divergence in msg-id burning or
+        # NIC next_free state left behind by the fan-out.
+        net.send(src, nodes[(2, 1)], "after", 10_000)
+        sim.run_until_idle()
+        return {repr(addr): times for addr, times in inbox.items()}
+
+    def test_matches_send_loop(self):
+        assert self._deliveries(True) == self._deliveries(False)
+
+    def test_priority_matches_send_loop(self):
+        assert self._deliveries(True, priority=True) == self._deliveries(
+            False, priority=True
+        )
+
+    def test_partition_matches_send_loop(self):
+        def prepare(net, nodes):
+            net.partition_group(1)
+
+        fanout = self._deliveries(True, prepare)
+        loop = self._deliveries(False, prepare)
+        assert fanout == loop
+        # Partitioned group saw nothing; the others still did.
+        assert fanout["N1.0"] == [] and fanout["N1.1"] == []
+        assert len(fanout["N2.0"]) == 1
+
+    def test_crashed_sender_sends_nothing(self):
+        def prepare(net, nodes):
+            net.crash_node(nodes[(0, 0)])
+
+        result = self._deliveries(True, prepare)
+        assert all(times == [] for times in result.values())
+
+    def test_same_group_dst_falls_back_to_send(self):
+        sim = Simulator()
+        net, nodes, inbox = fanout_net(sim)
+        src = nodes[(0, 0)]
+        dsts = [nodes[(0, 1)], nodes[(1, 0)]]
+        net.send_fanout(src, dsts, "pay", 25_000)
+        sim.run_until_idle()
+        assert len(inbox[nodes[(0, 1)]]) == 1  # LAN delivery
+        assert len(inbox[nodes[(1, 0)]]) == 1  # WAN delivery
+
+    def test_unregistered_dst_raises(self):
+        sim = Simulator()
+        net, nodes, inbox = fanout_net(sim)
+        with pytest.raises(KeyError):
+            net.send_fanout(
+                nodes[(0, 0)], [NodeAddress(7, 7)], "pay", 1000
+            )
+
+    def test_lossy_wan_falls_back_deterministically(self):
+        # With loss enabled both paths must consume the RNG stream
+        # identically (the fan-out falls back to the send loop).
+        def run(use_fanout):
+            sim = Simulator()
+            net, nodes, inbox = fanout_net(
+                sim,
+                wan_quality=LinkQuality(loss_probability=0.5),
+                rng=RngRegistry(42),
+            )
+            src = nodes[(0, 0)]
+            dsts = [nodes[key] for key in self.DSTS]
+            if use_fanout:
+                net.send_fanout(src, dsts, "pay", 25_000)
+            else:
+                for dst in dsts:
+                    net.send(src, dst, "pay", 25_000)
+            sim.run_until_idle()
+            return {repr(a): t for a, t in inbox.items()}
+
+        assert run(True) == run(False)
+
+
+class TestBroadcastFastPath:
+    def _lan_net(self, sim, members=4, **kwargs):
+        net = Network(sim, rtt_matrix={(0, 1): 0.030}, **kwargs)
+        inbox = {}
+        for index in range(members):
+            addr = NodeAddress(0, index)
+            inbox[addr] = []
+            net.register(
+                addr,
+                lambda m, _a=addr: inbox[_a].append((sim.now, m.payload)),
+            )
+        return net, inbox
+
+    def test_matches_send_loop(self):
+        sim_a = Simulator()
+        net_a, inbox_a = self._lan_net(sim_a)
+        src = NodeAddress(0, 0)
+        net_a.broadcast_group(src, 0, "x", 50_000)
+        sim_a.run_until_idle()
+
+        sim_b = Simulator()
+        net_b, inbox_b = self._lan_net(sim_b)
+        for addr in net_b.group_members(0):
+            if addr != src:
+                net_b.send(src, addr, "x", 50_000)
+        sim_b.run_until_idle()
+
+        times_a = {repr(a): t for a, t in inbox_a.items()}
+        times_b = {repr(a): t for a, t in inbox_b.items()}
+        assert times_a == times_b
+        assert net_a.lan_bytes_total == net_b.lan_bytes_total
+
+    def test_jittered_broadcast_matches_send_loop(self):
+        # Jitter forces the stochastic path; with identical seeds it must
+        # draw the RNG in the same per-receiver order as N sends.
+        def run(use_broadcast):
+            sim = Simulator()
+            net, inbox = self._lan_net(
+                sim,
+                lan_quality=LinkQuality(jitter=0.002),
+                rng=RngRegistry(7),
+            )
+            src = NodeAddress(0, 0)
+            if use_broadcast:
+                net.broadcast_group(src, 0, "x", 50_000)
+            else:
+                for addr in net.group_members(0):
+                    if addr != src:
+                        net.send(src, addr, "x", 50_000)
+            sim.run_until_idle()
+            return {repr(a): t for a, t in inbox.items()}
+
+        assert run(True) == run(False)
