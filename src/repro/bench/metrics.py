@@ -63,6 +63,9 @@ class RunMetrics:
         # cpu_sum, cpu_max]) and ProposalGated stall counts by reason.
         self.queue_stats: Dict[int, List[float]] = {}
         self.gated_counts: Dict[int, Dict[str, int]] = {}
+        # Adaptive-control decision log: one dict per knob actuation,
+        # in publication order (empty without a controller).
+        self.control_decisions: List[Dict[str, float]] = []
 
     # ------------------------------------------------------------------
     # Recording (called by the deployment)
@@ -207,6 +210,35 @@ class RunMetrics:
         by_reason = self.gated_counts.setdefault(gid, {})
         by_reason[reason] = by_reason.get(reason, 0) + 1
 
+    def record_control_decision(
+        self,
+        at: float,
+        gid: int,
+        knob: str,
+        old: float,
+        new: float,
+        trigger: str,
+        value: float,
+        policy: str,
+        epoch: int,
+    ) -> None:
+        """One adaptive-control knob actuation (all retained, no warmup
+        cut: the decision log explains the run, and a warmup-period
+        actuation still shapes everything measured after it)."""
+        self.control_decisions.append(
+            {
+                "at": at,
+                "gid": gid,
+                "knob": knob,
+                "old": old,
+                "new": new,
+                "trigger": trigger,
+                "value": value,
+                "policy": policy,
+                "epoch": epoch,
+            }
+        )
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
@@ -324,6 +356,32 @@ class RunMetrics:
             for reason, stalls in sorted(by_reason.items()):
                 row[f"gated_{reason}"] = float(stalls)
             rows.append(row)
+        return rows
+
+    def control_summary(self) -> List[Dict[str, object]]:
+        """Controller decision-log rows, one per knob actuation.
+
+        Each row: simulated time, group, knob name, old/new values, the
+        trigger signal and its sampled magnitude, the policy that
+        decided, and the control epoch after actuation — the per-knob
+        "when, trigger, old -> new" table for run summaries. Empty
+        without a controller.
+        """
+        rows: List[Dict[str, object]] = []
+        for decision in self.control_decisions:
+            rows.append(
+                {
+                    "at": decision["at"],
+                    "gid": decision["gid"],
+                    "knob": decision["knob"],
+                    "old": decision["old"],
+                    "new": decision["new"],
+                    "trigger": decision["trigger"],
+                    "value": decision["value"],
+                    "policy": decision["policy"],
+                    "epoch": decision["epoch"],
+                }
+            )
         return rows
 
     def traffic_summary(self) -> Dict[str, int]:

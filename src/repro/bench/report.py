@@ -76,6 +76,41 @@ def format_queue_gating(metrics, title: str = "admission gate (post-warmup)") ->
     return format_table(headers, table_rows, title=title)
 
 
+def format_control_decisions(
+    metrics, title: str = "controller decisions"
+) -> str:
+    """Per-knob decision-log table from a :class:`RunMetrics`.
+
+    One row per actuation: when it fired, which group and knob, the
+    old -> new values, the trigger metric and its sampled magnitude, the
+    policy, and the control epoch after actuation. Returns an empty
+    string when no controller ran (or it never actuated).
+    """
+    rows = getattr(metrics, "control_summary", lambda: [])()
+    if not rows:
+        return ""
+    headers = [
+        "t_s", "group", "knob", "old", "new", "trigger", "value",
+        "policy", "epoch",
+    ]
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [
+                row["at"],
+                f"g{int(row['gid'])}",
+                row["knob"],
+                row["old"],
+                row["new"],
+                row["trigger"],
+                row["value"],
+                row["policy"],
+                int(row["epoch"]),
+            ]
+        )
+    return format_table(headers, table_rows, title=title)
+
+
 def format_traffic_accounting(metrics) -> str:
     """One-line offered/admitted/committed/dropped summary.
 

@@ -57,6 +57,11 @@ class CheckConfig:
     #: episodes exercise admission shedding alongside the fault budget).
     #: Resolved by :func:`repro.check.scenarios.make_traffic`.
     traffic: str = ""
+    #: Adaptive-control policy name ("" = no controller). With a policy
+    #: set, every episode runs with the closed-loop controller actuating
+    #: knobs live — safety invariants must hold while batch sizes,
+    #: stale-send margins, and admission gates move under it.
+    control: str = ""
 
     def to_jsonable(self) -> dict:
         data = asdict(self)
@@ -122,6 +127,7 @@ def run_episode(
         observers="all",
         takeover_timeout=config.takeover_timeout,
         traffic=make_traffic(config.traffic, config),
+        control=config.control or None,
     )
     suite = InvariantSuite.attach(deployment, commit_slack=config.commit_slack)
     if recorder_sink is not None:

@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.bench.report import (
+    format_control_decisions,
     format_queue_gating,
     format_table,
     format_tenant_table,
@@ -33,6 +34,9 @@ from repro.workloads import make_workload
 PROTOCOL_CHOICES = ("massbft", "baseline", "geobft", "steward", "iss", "br", "ebr")
 WORKLOAD_CHOICES = ("ycsb-a", "ycsb-b", "smallbank", "tpcc")
 CLUSTER_CHOICES = ("nationwide", "worldwide")
+#: Mirrors repro.control.policies.policy_names() — kept literal so the
+#: parser builds without importing the runtime.
+CONTROL_CHOICES = ("static", "aimd", "target")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,6 +82,13 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=1,
             help="lane-to-worker partition for --kernel laned",
+        )
+        p.add_argument(
+            "--control",
+            choices=CONTROL_CHOICES,
+            default=None,
+            help="attach the closed-loop adaptive controller with this "
+            "policy (decisions print as a per-knob log)",
         )
 
     run = sub.add_parser("run", help="run one protocol deployment")
@@ -156,6 +167,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive each episode with a flash-crowd traffic spec offered "
         "above the provisioned rate: safety invariants must hold under "
         "sustained overload and client shedding",
+    )
+    check.add_argument(
+        "--control",
+        nargs="?",
+        const="aimd",
+        choices=CONTROL_CHOICES,
+        default=None,
+        help="run every episode with the closed-loop adaptive controller "
+        "attached (default policy: aimd); safety invariants must hold "
+        "while the controller actuates knobs live",
     )
     check.add_argument(
         "--replay",
@@ -324,6 +345,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list scenarios and exit"
     )
 
+    control = sub.add_parser(
+        "control",
+        help="closed-loop control A/B bench: static baseline vs each "
+        "adaptive policy across the homogeneous (fig08), "
+        "heterogeneous-bandwidth (fig14), and flash-crowd scenarios; "
+        "fails unless adaptive wins on hetero without regressing fig08",
+    )
+    control.add_argument(
+        "--scenario",
+        default="all",
+        help="comma-separated scenario names, or 'all' "
+        "(fig08, fig14-hetero, flash-crowd)",
+    )
+    control.add_argument(
+        "--policies",
+        default=",".join(CONTROL_CHOICES),
+        help="comma-separated policy names (static is the baseline)",
+    )
+    control.add_argument("--seed", type=int, default=0)
+    control.add_argument(
+        "--kernel", choices=("classic", "laned"), default="classic"
+    )
+    control.add_argument(
+        "--lanes",
+        type=int,
+        default=None,
+        help="group-lane count for --kernel laned (default: one per group)",
+    )
+    control.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="lane-to-worker partition for --kernel laned",
+    )
+    control.add_argument(
+        "--quick", action="store_true", help="CI smoke preset (shorter runs)"
+    )
+    control.add_argument(
+        "--out-dir",
+        default=None,
+        metavar="DIR",
+        help="write the deterministic control_ab.json artifact here "
+        "(e.g. benchmarks/); byte-identical across kernels",
+    )
+    control.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+
     trace = sub.add_parser(
         "trace",
         help="run one traced deployment; export a Perfetto-loadable "
@@ -381,6 +450,7 @@ def _run_one(protocol: str, args: argparse.Namespace):
         kernel=getattr(args, "kernel", "classic"),
         lanes=getattr(args, "lanes", None),
         workers=getattr(args, "workers", 1),
+        control=getattr(args, "control", None),
     )
     metrics = deployment.run(duration=args.duration, warmup=args.warmup)
     return deployment, metrics
@@ -448,6 +518,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     tenant_table = format_tenant_table(metrics)
     if tenant_table:
         print(tenant_table)
+    control_table = format_control_decisions(metrics)
+    if control_table:
+        print(control_table)
     return 0
 
 
@@ -506,6 +579,8 @@ def cmd_check(args: argparse.Namespace) -> int:
         overrides["scenario"] = ScenarioConfig(**scenario_kw)
     if args.saturation:
         overrides["traffic"] = "saturation"
+    if args.control is not None:
+        overrides["control"] = args.control
     config = CheckConfig(**overrides)
     protocols = [p.strip() for p in args.protocols.split(",") if p.strip()]
     results = explore(
@@ -619,6 +694,13 @@ def cmd_perf(args: argparse.Namespace) -> int:
             f"trace overhead gate FAILED: {overhead['ratio']:+.1%} "
             f"(budget +{overhead['tolerance']:.0%}, committed match: "
             f"{overhead['committed_match']})"
+        )
+        return 1
+    control = report.get("control_overhead", {})
+    if control and not control.get("ok", True):
+        print(
+            f"control overhead gate FAILED: {control['ratio']:+.1%} "
+            f"(budget +{control['tolerance']:.0%})"
         )
         return 1
     if not baseline_path.exists():
@@ -811,6 +893,87 @@ def cmd_traffic(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_control(args: argparse.Namespace) -> int:
+    # Imported lazily: the A/B bench pulls in the whole runtime.
+    from repro.control.bench import SCENARIOS, run_ab, write_artifact
+
+    if args.list:
+        for name, scenario in SCENARIOS.items():
+            print(f"{name:<14} {scenario.description}")
+        return 0
+    if args.scenario == "all":
+        names = list(SCENARIOS)
+    else:
+        names = [s.strip() for s in args.scenario.split(",") if s.strip()]
+        unknown = [n for n in names if n not in SCENARIOS]
+        if unknown:
+            print(f"unknown scenario(s): {', '.join(unknown)}")
+            print(f"available: {', '.join(SCENARIOS)}")
+            return 2
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    doc = run_ab(
+        names,
+        policies=policies,
+        seed=args.seed,
+        kernel=args.kernel,
+        lanes=args.lanes,
+        workers=args.workers,
+        quick=args.quick,
+        log=print,
+    )
+    for scenario_doc in doc["scenarios"]:
+        rows = [
+            [
+                run["policy"],
+                round(run["goodput_tps"] / 1000, 2),
+                round(run["p50_latency_s"] * 1000, 1),
+                round(run["p99_latency_s"] * 1000, 1),
+                run["committed"],
+                run["decision_count"],
+                run["control_epoch"],
+            ]
+            for run in scenario_doc["runs"]
+        ]
+        print(
+            format_table(
+                ["policy", "goodput_ktps", "p50_ms", "p99_ms",
+                 "committed", "decisions", "ctl_epoch"],
+                rows,
+                title=f"\n{scenario_doc['scenario']}: "
+                f"{scenario_doc['description']} (seed {doc['seed']})",
+            )
+        )
+        for run in scenario_doc["runs"]:
+            for decision in run["decisions"]:
+                print(
+                    f"  {run['policy']}: t={decision['at']:.2f}s "
+                    f"g{int(decision['gid'])} {decision['knob']} "
+                    f"{decision['old']:g} -> {decision['new']:g} "
+                    f"({decision['trigger']}={decision['value']:g}, "
+                    f"epoch {int(decision['epoch'])})"
+                )
+    if args.out_dir is not None:
+        path = write_artifact(doc, args.out_dir)
+        print(f"\nwrote {path}")
+    verdict = doc["verdict"]
+    print(f"\nverdict: {'ok' if verdict['ok'] else 'FAILED'}")
+    if "hetero_ok" in verdict:
+        wins = ", ".join(
+            f"{p}={'win' if w else 'no win'}"
+            for p, w in sorted(verdict["hetero_adaptive_wins"].items())
+        )
+        print(f"  fig14-hetero adaptive wins: {wins or 'n/a'}")
+    if "fig08_ok" in verdict:
+        regressed = [
+            p for p, bad in sorted(verdict["fig08_regressions"].items()) if bad
+        ]
+        print(
+            f"  fig08 regression guard: "
+            f"{'FAILED for ' + ', '.join(regressed) if regressed else 'ok'}"
+        )
+    return 0 if verdict["ok"] else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     # Imported lazily: span building and exporters are only needed here.
     from repro.obs import (
@@ -911,6 +1074,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scale": cmd_scale,
         "trace": cmd_trace,
         "traffic": cmd_traffic,
+        "control": cmd_control,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,77 @@
+"""Closed-loop adaptive control driven by live telemetry.
+
+The control subsystem watches a running deployment through the same
+event-bus signals the benchmarks report on — admission-gate queue
+depths, gating stalls by reason, offered/admitted/dropped traffic,
+batch formation, commits — and actuates protocol knobs live:
+
+* batch size and batching cadence when execution/ordering dominates the
+  Fig 11 breakdown (per-entry overhead amortisation);
+* the encoded transport's effective stripe margin
+  (``stale_send_backlog``) when dissemination dominates or per-link
+  bandwidth is skewed (Fig 14's heterogeneous-bandwidth regime);
+* pipeline/round windows against observed queue backlog;
+* the client admission window (``queue_seconds``) against sustained
+  overload (pairing with the admission-gate shedding).
+
+Determinism contract: every policy is a **pure function of the sampled
+telemetry window sequence and the seed** — no wall clock, no RNG draws
+at decision time — so the same (seed, schedule) replays the identical
+decision sequence on the classic and laned kernels, byte for byte.
+Each actuation bumps the deployment-wide ``control_epoch`` (mirroring
+the membership-epoch invalidation machinery) and publishes a
+:class:`~repro.protocols.runtime.events.ControlDecision` on the bus,
+so decisions land in run summaries, trace bundles, and check episodes.
+
+Zero-cost-off: nothing in the runtime imports this package unless a
+controller is explicitly requested (``GeoDeployment(control=...)`` or
+``StageOverrides.control``); controller-off runs are byte-identical to
+a build without the subsystem.
+"""
+
+from repro.control.policies import (
+    AIMDPolicy,
+    ControlAction,
+    ControlPolicy,
+    StaticPolicy,
+    TargetPolicy,
+    policy_by_name,
+)
+from repro.control.signals import ControlWindow, KnobView, SignalCollector
+from repro.control.stage import ControlStage
+
+__all__ = [
+    "AIMDPolicy",
+    "ControlAction",
+    "ControlPolicy",
+    "ControlStage",
+    "ControlWindow",
+    "KnobView",
+    "SignalCollector",
+    "StaticPolicy",
+    "TargetPolicy",
+    "attach_controller",
+    "policy_by_name",
+]
+
+
+def attach_controller(deployment, control) -> ControlStage:
+    """Attach a :class:`ControlStage` to a freshly built deployment.
+
+    ``control`` is a policy name (``"static"``, ``"aimd"``,
+    ``"target"``), a :class:`ControlPolicy` instance, or ``True`` for
+    the default adaptive policy. Called by
+    :class:`~repro.protocols.runtime.deployment.GeoDeployment` when its
+    ``control`` argument is not ``None``.
+    """
+    if control is True:
+        policy = policy_by_name("aimd")
+    elif isinstance(control, str):
+        policy = policy_by_name(control)
+    elif isinstance(control, ControlPolicy):
+        policy = control
+    else:
+        raise TypeError(
+            f"control must be a policy name or ControlPolicy, got {control!r}"
+        )
+    return ControlStage(deployment, policy)

@@ -1,0 +1,397 @@
+"""Control policies: pure decision functions over telemetry windows.
+
+A policy maps (window sequence, current knob values) to a list of
+:class:`ControlAction`. Policies keep internal streak counters, but
+those counters are themselves a deterministic function of the windows
+they were fed — no wall clock, no RNG draws — so feeding two policy
+instances the same window sequence produces identical decisions (the
+property the replay tests pin down).
+
+Three policies ship:
+
+* :class:`StaticPolicy` — never actuates. The A/B baseline: a run with
+  the static policy behaves exactly like today's uncontrolled runtime
+  (modulo the controller's own tick events).
+* :class:`AIMDPolicy` — hysteresis rules with additive-increase /
+  multiplicative-decrease dynamics per knob. The default adaptive
+  policy.
+* :class:`TargetPolicy` — target-seeking: drives the representative's
+  WAN backlog toward a setpoint fraction of the admission cap by
+  proportionally scaling the batch cap and the transport's stale-send
+  margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.control.signals import ControlWindow, KnobView
+
+
+@dataclass(frozen=True)
+class ControlAction:
+    """One requested knob change (the stage clamps and applies it)."""
+
+    gid: int
+    knob: str  # a ControlDecision knob name
+    value: float
+    trigger: str  # the telemetry signal that tripped the rule
+    signal: float  # the sampled magnitude of that signal
+
+
+class ControlPolicy:
+    """Decision interface. Subclasses override :meth:`decide`."""
+
+    name = "base"
+
+    def decide(
+        self,
+        windows: Sequence[ControlWindow],
+        knobs: Dict[int, KnobView],
+    ) -> List[ControlAction]:
+        raise NotImplementedError
+
+    def reset_group(self, gid: int) -> None:
+        """Forget any per-group rule state (membership changed)."""
+
+
+class StaticPolicy(ControlPolicy):
+    """The do-nothing baseline: today's behaviour, decision log empty."""
+
+    name = "static"
+
+    def decide(
+        self,
+        windows: Sequence[ControlWindow],
+        knobs: Dict[int, KnobView],
+    ) -> List[ControlAction]:
+        return []
+
+
+class AIMDPolicy(ControlPolicy):
+    """Hysteresis rules with AIMD dynamics.
+
+    Rules, evaluated per group per tick (a rule fires only after its
+    condition held for ``patience`` consecutive windows, and a fired
+    group then cools down for ``cooldown`` ticks):
+
+    * **WAN-bound, full batches** → grow the batch: multiplicative
+      increase of ``max_batch_txns``, capped close to the baseline
+      (``batch_cap_factor``). Each entry carries a fixed header +
+      certificate overhead, so modestly larger batches cut WAN bytes
+      per transaction when the WAN is the binding resource — but only
+      modestly: oversized batches dump burstier work into the egress
+      queues than the admission gate (which samples at batch-timer
+      granularity) can pace, so the cap is deliberately tight.
+    * **CPU-bound** → grow the batch *and* stretch the batch timer:
+      fewer, larger entries amortise the per-entry signing/verification
+      work that dominates when execution is the Fig 11 bottleneck.
+    * **Skewed sender backlogs** → shrink ``stale_send_backlog``
+      multiplicatively: backlogged senders skip their (redundant) parity
+      chunks sooner, which is the effective-stripe actuation for the
+      Fig 14 heterogeneous-bandwidth regime. Floored at twice the WAN
+      admission cap — healthy senders hover at the cap, and shedding
+      below their operating backlog stalls dissemination outright.
+    * **Window-bound with headroom** → additive increase of the
+      pipeline/round window: the proposer is stalling on its own window
+      while queues are short.
+    * **Sustained overload** → tighten the client admission window
+      (``queue_seconds``) multiplicatively: shed earlier, keep the p99
+      of what commits meaningful (flash-crowd regime).
+    * **All clear** → decay every knob one additive step back toward
+      its baseline (slow recovery, AIMD-style asymmetry).
+    """
+
+    name = "aimd"
+
+    def __init__(
+        self,
+        patience: int = 2,
+        cooldown: int = 2,
+        batch_gain: float = 1.5,
+        batch_cap_factor: float = 1.5,
+        stale_decay: float = 0.6,
+        stale_floor: float = 0.05,
+        window_step: int = 4,
+        window_cap_factor: float = 4.0,
+        queue_decay: float = 0.75,
+        queue_floor_factor: float = 0.25,
+        spread_threshold: float = 0.05,
+        drop_threshold: float = 0.25,
+        fill_threshold: float = 0.85,
+    ) -> None:
+        self.patience = patience
+        self.cooldown = cooldown
+        self.batch_gain = batch_gain
+        self.batch_cap_factor = batch_cap_factor
+        self.stale_decay = stale_decay
+        self.stale_floor = stale_floor
+        self.window_step = window_step
+        self.window_cap_factor = window_cap_factor
+        self.queue_decay = queue_decay
+        self.queue_floor_factor = queue_floor_factor
+        self.spread_threshold = spread_threshold
+        self.drop_threshold = drop_threshold
+        self.fill_threshold = fill_threshold
+        # Consecutive-window streaks per (gid, rule) and per-gid cooldown
+        # tick counters — deterministic functions of the window sequence.
+        self._streaks: Dict[tuple, int] = {}
+        self._cooling: Dict[int, int] = {}
+
+    def reset_group(self, gid: int) -> None:
+        for key in [k for k in self._streaks if k[0] == gid]:
+            del self._streaks[key]
+        self._cooling.pop(gid, None)
+
+    def _streak(self, gid: int, rule: str, firing: bool) -> int:
+        key = (gid, rule)
+        if firing:
+            self._streaks[key] = self._streaks.get(key, 0) + 1
+        else:
+            self._streaks[key] = 0
+        return self._streaks[key]
+
+    def decide(
+        self,
+        windows: Sequence[ControlWindow],
+        knobs: Dict[int, KnobView],
+    ) -> List[ControlAction]:
+        actions: List[ControlAction] = []
+        for window in windows:
+            gid = window.gid
+            view = knobs[gid]
+            cooling = self._cooling.get(gid, 0)
+            if cooling:
+                self._cooling[gid] = cooling - 1
+
+            gated = window.gated_total
+            wan_bound = (
+                gated > 0
+                and window.gated_wan >= max(1, gated // 2)
+                and window.batch_fill(view.max_batch_txns)
+                >= self.fill_threshold
+            )
+            cpu_bound = (
+                gated > 0
+                and window.gated_cpu >= max(1, gated // 2)
+                and window.batch_fill(view.max_batch_txns)
+                >= self.fill_threshold
+            )
+            skewed = window.backlog_spread > self.spread_threshold
+            window_bound = (
+                gated > 0
+                and window.gated_window >= max(1, gated // 2)
+                and window.wan_backlog < 0.5 * view.wan_backlog_cap
+                and window.cpu_backlog < 0.5 * view.cpu_backlog_cap
+            )
+            overloaded = (
+                window.drop_fraction > self.drop_threshold
+                and window.offered > 0
+            )
+            quiet = gated == 0 and not skewed and not overloaded
+
+            wan_streak = self._streak(gid, "wan", wan_bound)
+            cpu_streak = self._streak(gid, "cpu", cpu_bound)
+            skew_streak = self._streak(gid, "skew", skewed)
+            win_streak = self._streak(gid, "window", window_bound)
+            drop_streak = self._streak(gid, "overload", overloaded)
+            quiet_streak = self._streak(gid, "quiet", quiet)
+
+            if cooling:
+                continue
+            fired = False
+
+            if wan_streak >= self.patience:
+                cap = view.base_max_batch_txns * self.batch_cap_factor
+                target = min(cap, view.max_batch_txns * self.batch_gain)
+                if int(target) > view.max_batch_txns:
+                    actions.append(ControlAction(
+                        gid, "max_batch_txns", float(int(target)),
+                        "gated_wan", float(window.gated_wan),
+                    ))
+                    fired = True
+
+            if cpu_streak >= self.patience:
+                cap = view.base_max_batch_txns * 2.0 * self.batch_cap_factor
+                target = min(cap, view.max_batch_txns * self.batch_gain)
+                if int(target) > view.max_batch_txns:
+                    actions.append(ControlAction(
+                        gid, "max_batch_txns", float(int(target)),
+                        "gated_cpu", float(window.gated_cpu),
+                    ))
+                    fired = True
+                timer_target = min(
+                    view.base_batch_timeout * 4.0, view.batch_timeout * 1.25
+                )
+                if timer_target > view.batch_timeout:
+                    actions.append(ControlAction(
+                        gid, "batch_timeout", timer_target,
+                        "gated_cpu", float(window.gated_cpu),
+                    ))
+                    fired = True
+
+            if skew_streak >= self.patience:
+                floor = max(self.stale_floor, 2.0 * view.wan_backlog_cap)
+                target = max(floor,
+                             view.stale_send_backlog * self.stale_decay)
+                if target < view.stale_send_backlog:
+                    actions.append(ControlAction(
+                        gid, "stale_send_backlog", target,
+                        "backlog_spread", window.backlog_spread,
+                    ))
+                    fired = True
+
+            if win_streak >= self.patience:
+                cap = int(view.base_pipeline_window * self.window_cap_factor)
+                target = min(cap, view.pipeline_window + self.window_step)
+                if target > view.pipeline_window:
+                    actions.append(ControlAction(
+                        gid, "pipeline_window", float(target),
+                        "gated_window", float(window.gated_window),
+                    ))
+                    fired = True
+                round_cap = int(view.base_round_window * self.window_cap_factor)
+                round_target = min(
+                    round_cap, view.round_window + max(1, self.window_step // 2)
+                )
+                if round_target > view.round_window:
+                    actions.append(ControlAction(
+                        gid, "round_window", float(round_target),
+                        "gated_window", float(window.gated_window),
+                    ))
+                    fired = True
+
+            if drop_streak >= self.patience:
+                floor = view.base_queue_seconds * self.queue_floor_factor
+                target = max(floor, view.queue_seconds * self.queue_decay)
+                if target < view.queue_seconds:
+                    actions.append(ControlAction(
+                        gid, "queue_seconds", target,
+                        "drop_fraction", window.drop_fraction,
+                    ))
+                    fired = True
+
+            if not fired and quiet_streak >= 2 * self.patience:
+                # Additive recovery toward baselines, one knob step per
+                # quiet tick: the asymmetry that makes transients decay.
+                if view.max_batch_txns > view.base_max_batch_txns:
+                    step = max(1, view.base_max_batch_txns // 4)
+                    actions.append(ControlAction(
+                        gid, "max_batch_txns",
+                        float(max(view.base_max_batch_txns,
+                                  view.max_batch_txns - step)),
+                        "quiet", float(quiet_streak),
+                    ))
+                elif view.batch_timeout > view.base_batch_timeout:
+                    actions.append(ControlAction(
+                        gid, "batch_timeout",
+                        max(view.base_batch_timeout,
+                            view.batch_timeout * 0.8),
+                        "quiet", float(quiet_streak),
+                    ))
+                elif view.queue_seconds < view.base_queue_seconds:
+                    actions.append(ControlAction(
+                        gid, "queue_seconds",
+                        min(view.base_queue_seconds,
+                            view.queue_seconds / self.queue_decay),
+                        "quiet", float(quiet_streak),
+                    ))
+
+            if fired:
+                self._cooling[gid] = self.cooldown
+        return actions
+
+
+class TargetPolicy(ControlPolicy):
+    """Target-seeking controller on the representative's WAN backlog.
+
+    Drives ``wan_backlog`` toward ``setpoint`` seconds by scaling the
+    batch cap proportionally to the error (bigger batches when the WAN
+    has headroom, smaller when it runs hot) and by tightening the
+    stale-send margin when sender backlogs spread out. A deadband keeps
+    the controller quiet near the setpoint so homogeneous runs are left
+    untouched.
+    """
+
+    name = "target"
+
+    def __init__(
+        self,
+        setpoint: float = 0.045,
+        deadband: float = 0.5,
+        gain: float = 4.0,
+        batch_cap_factor: float = 8.0,
+        spread_threshold: float = 0.05,
+        stale_floor: float = 0.05,
+    ) -> None:
+        self.setpoint = setpoint
+        self.deadband = deadband
+        self.gain = gain
+        self.batch_cap_factor = batch_cap_factor
+        self.spread_threshold = spread_threshold
+        self.stale_floor = stale_floor
+
+    def decide(
+        self,
+        windows: Sequence[ControlWindow],
+        knobs: Dict[int, KnobView],
+    ) -> List[ControlAction]:
+        actions: List[ControlAction] = []
+        for window in windows:
+            gid = window.gid
+            view = knobs[gid]
+            error = (window.wan_backlog - self.setpoint) / self.setpoint
+            if (
+                abs(error) > self.deadband
+                and window.batches
+                and window.gated_total > 0
+            ):
+                # Proportional response, clamped to one octave per tick.
+                scale = max(0.5, min(2.0, 1.0 - error / self.gain))
+                cap = view.base_max_batch_txns * self.batch_cap_factor
+                target = int(
+                    max(view.base_max_batch_txns,
+                        min(cap, view.max_batch_txns * scale))
+                )
+                if target != view.max_batch_txns:
+                    actions.append(ControlAction(
+                        gid, "max_batch_txns", float(target),
+                        "wan_backlog", window.wan_backlog,
+                    ))
+            if window.backlog_spread > self.spread_threshold:
+                # Never shed below the healthy-sender operating band
+                # (senders hover at the WAN admission cap under load).
+                target = max(
+                    self.stale_floor,
+                    2.0 * view.wan_backlog_cap,
+                    window.wan_backlog + 0.01,
+                )
+                if target < view.stale_send_backlog:
+                    actions.append(ControlAction(
+                        gid, "stale_send_backlog", target,
+                        "backlog_spread", window.backlog_spread,
+                    ))
+        return actions
+
+
+_POLICIES = {
+    StaticPolicy.name: StaticPolicy,
+    AIMDPolicy.name: AIMDPolicy,
+    TargetPolicy.name: TargetPolicy,
+}
+
+
+def policy_by_name(name: str) -> ControlPolicy:
+    """Instantiate a policy from its registry name."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown control policy {name!r} "
+            f"(known: {', '.join(sorted(_POLICIES))})"
+        ) from None
+
+
+def policy_names() -> List[str]:
+    return sorted(_POLICIES)

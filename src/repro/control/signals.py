@@ -1,0 +1,200 @@
+"""Telemetry windows: what the controller sees between two ticks.
+
+A :class:`SignalCollector` subscribes to the deployment's event bus and
+accumulates, per group, the same signals the admission-gate and traffic
+summaries report — queue-depth samples, gating stalls by reason,
+offered/admitted/dropped arrivals, batch formation, commits. At each
+control tick the :class:`~repro.control.stage.ControlStage` drains the
+accumulators into immutable :class:`ControlWindow` snapshots (one per
+group) and hands those to the policy.
+
+Everything here is derived from bus events plus direct reads of
+deterministic simulator state (NIC backlogs), so the window sequence —
+and therefore every policy decision — is a pure function of (seed,
+schedule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.protocols.runtime.events import (
+    ClientArrivals,
+    EntryBatched,
+    EntryExecuted,
+    ProposalGated,
+    QueueDepthsSampled,
+)
+
+
+@dataclass(frozen=True)
+class ControlWindow:
+    """One group's telemetry over one control interval.
+
+    ``wan_backlog``/``cpu_backlog`` are the representative's most recent
+    admission-gate samples (seconds of queued work); ``backlog_spread``
+    is the max-minus-median WAN backlog across the group's live members
+    — the per-link bandwidth-skew signal that identifies the Fig 14
+    heterogeneous regime. Counters are deltas over the window.
+    """
+
+    gid: int
+    start: float
+    end: float
+    wan_backlog: float
+    cpu_backlog: float
+    backlog_spread: float
+    gated_wan: int
+    gated_cpu: int
+    gated_phase: int
+    gated_window: int
+    offered: int
+    admitted: int
+    dropped: int
+    committed: int
+    batches: int
+    batched_txns: int
+
+    @property
+    def gated_total(self) -> int:
+        return self.gated_wan + self.gated_cpu + self.gated_phase + self.gated_window
+
+    @property
+    def drop_fraction(self) -> float:
+        """Dropped share of offered arrivals this window (0 when idle)."""
+        if not self.offered:
+            return 0.0
+        return self.dropped / self.offered
+
+    def batch_fill(self, cap: int) -> float:
+        """Mean batch size as a fraction of the group's batch cap."""
+        if not self.batches or cap <= 0:
+            return 0.0
+        return (self.batched_txns / self.batches) / cap
+
+
+@dataclass(frozen=True)
+class KnobView:
+    """Current actuation-point values for one group, as the policy sees
+    them, plus the deployment baselines they started from. Policies
+    express decisions relative to these; the stage clamps and applies.
+    """
+
+    max_batch_txns: int
+    batch_timeout: float
+    pipeline_window: int
+    round_window: int
+    queue_seconds: float
+    stale_send_backlog: float
+    wan_backlog_cap: float
+    cpu_backlog_cap: float
+    base_max_batch_txns: int
+    base_batch_timeout: float
+    base_pipeline_window: int
+    base_round_window: int
+    base_queue_seconds: float
+    base_stale_send_backlog: float
+
+
+class SignalCollector:
+    """Accumulates per-group bus signals between control ticks."""
+
+    def __init__(self, bus, n_groups: int) -> None:
+        self.n_groups = n_groups
+        self._latest_wan = [0.0] * n_groups
+        self._latest_cpu = [0.0] * n_groups
+        self._gated: List[Dict[str, int]] = [dict() for _ in range(n_groups)]
+        self._offered = [0] * n_groups
+        self._admitted = [0] * n_groups
+        self._dropped = [0] * n_groups
+        self._committed = [0] * n_groups
+        self._batches = [0] * n_groups
+        self._batched_txns = [0] * n_groups
+        bus.subscribe(QueueDepthsSampled, self._on_queue_depths)
+        bus.subscribe(ProposalGated, self._on_gated)
+        bus.subscribe(ClientArrivals, self._on_arrivals)
+        bus.subscribe(EntryBatched, self._on_batched)
+        bus.subscribe(EntryExecuted, self._on_executed)
+
+    # ------------------------------------------------------------------
+    # Bus handlers
+    # ------------------------------------------------------------------
+
+    def _on_queue_depths(self, event: QueueDepthsSampled) -> None:
+        self._latest_wan[event.gid] = event.wan_backlog
+        self._latest_cpu[event.gid] = event.cpu_backlog
+
+    def _on_gated(self, event: ProposalGated) -> None:
+        counts = self._gated[event.gid]
+        counts[event.reason] = counts.get(event.reason, 0) + 1
+
+    def _on_arrivals(self, event: ClientArrivals) -> None:
+        self._offered[event.gid] += event.offered
+        self._admitted[event.gid] += event.admitted
+        self._dropped[event.gid] += event.dropped
+
+    def _on_batched(self, event: EntryBatched) -> None:
+        gid = event.entry_id.gid
+        self._batches[gid] += 1
+        self._batched_txns[gid] += event.tx_count
+
+    def _on_executed(self, event: EntryExecuted) -> None:
+        self._committed[event.gid] += len(event.commit_times)
+
+    # ------------------------------------------------------------------
+    # Window construction
+    # ------------------------------------------------------------------
+
+    def reset_group(self, gid: int) -> None:
+        """Discard group ``gid``'s accumulating window.
+
+        Called on membership changes: signals sampled under the old
+        membership must not drive an actuation under the new one.
+        """
+        self._latest_wan[gid] = 0.0
+        self._latest_cpu[gid] = 0.0
+        self._gated[gid] = {}
+        self._offered[gid] = 0
+        self._admitted[gid] = 0
+        self._dropped[gid] = 0
+        self._committed[gid] = 0
+        self._batches[gid] = 0
+        self._batched_txns[gid] = 0
+
+    def drain(self, start: float, end: float, deployment) -> List[ControlWindow]:
+        """Snapshot every group's window and reset the accumulators."""
+        windows: List[ControlWindow] = []
+        network = deployment.network
+        for gid in range(self.n_groups):
+            group = deployment.groups[gid]
+            live = [n for n in group.members if not n.crashed]
+            spread = 0.0
+            if len(live) >= 2:
+                backlogs = sorted(
+                    network.wan_backlog(node.addr) for node in live
+                )
+                spread = backlogs[-1] - backlogs[len(backlogs) // 2]
+            gated = self._gated[gid]
+            windows.append(
+                ControlWindow(
+                    gid=gid,
+                    start=start,
+                    end=end,
+                    wan_backlog=self._latest_wan[gid],
+                    cpu_backlog=self._latest_cpu[gid],
+                    backlog_spread=spread,
+                    gated_wan=gated.get("wan", 0),
+                    gated_cpu=gated.get("cpu", 0),
+                    gated_phase=gated.get("phase", 0),
+                    gated_window=gated.get("window", 0),
+                    offered=self._offered[gid],
+                    admitted=self._admitted[gid],
+                    dropped=self._dropped[gid],
+                    committed=self._committed[gid],
+                    batches=self._batches[gid],
+                    batched_txns=self._batched_txns[gid],
+                )
+            )
+            self.reset_group(gid)
+        return windows

@@ -33,6 +33,7 @@ PID_ENTRIES_BASE = 1
 PID_NETWORK_BASE = 101
 PID_FAULTS = 901
 PID_RECONFIG = 911
+PID_CONTROL = 921
 PID_TELEMETRY = 951
 
 
@@ -164,6 +165,24 @@ def chrome_trace_doc(trace) -> Dict[str, Any]:
                     "s": "g",
                     "ts": _us(span.start),
                     "pid": PID_RECONFIG,
+                    "tid": 1,
+                    "args": dict(span.args),
+                }
+            )
+
+    # --- controller decision markers: global instants with knob args ----
+    control_spans = getattr(trace, "control_spans", None)
+    if control_spans:
+        events.append(_meta("process_name", PID_CONTROL, 0, "control"))
+        for span in control_spans:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "control",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": _us(span.start),
+                    "pid": PID_CONTROL,
                     "tid": 1,
                     "args": dict(span.args),
                 }

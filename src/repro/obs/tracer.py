@@ -38,6 +38,7 @@ from repro.core.entry import EntryId
 from repro.obs.spans import Span, flatten
 from repro.obs.telemetry import NicSampler, TelemetryRegistry
 from repro.protocols.runtime.events import (
+    ControlDecision,
     EntryAvailableRemote,
     EntryBatched,
     EntryExecuted,
@@ -94,16 +95,18 @@ class Trace:
     fault_spans: List[Span]
     telemetry: TelemetryRegistry
     reconfig_spans: List[Span] = field(default_factory=list)
+    control_spans: List[Span] = field(default_factory=list)
     meta: Dict[str, Any] = field(default_factory=dict)
 
     def spans(self) -> List[Span]:
         """Every span, deterministic order: entries, messages, faults,
-        reconfigurations."""
+        reconfigurations, control decisions."""
         return (
             flatten(self.entry_roots)
             + self.message_spans
             + self.fault_spans
             + self.reconfig_spans
+            + self.control_spans
         )
 
     def root_for(self, entry_id: EntryId) -> Optional[Span]:
@@ -134,6 +137,7 @@ class Tracer:
         self._messages: List[Tuple] = []
         self._faults: List[FaultInjected] = []
         self._reconfigs: List[ReconfigApplied] = []
+        self._controls: List[ControlDecision] = []
         self._gated: Dict[Tuple[int, str], int] = {}
         self._gated_total: Dict[int, int] = {}
         self.dropped_message_spans = 0
@@ -158,6 +162,7 @@ class Tracer:
         bus.subscribe(ProposalGated, tracer._on_gated)
         bus.subscribe(FaultInjected, tracer._faults.append)
         bus.subscribe(ReconfigApplied, tracer._reconfigs.append)
+        bus.subscribe(ControlDecision, tracer._on_control_decision)
         deployment.network.transmit_hook = tracer._on_transmit
         if tracer.telemetry_interval > 0:
             tracer.sampler.interval = tracer.telemetry_interval
@@ -230,6 +235,14 @@ class Tracer:
         self._gated_total[event.gid] = total
         self.telemetry.record(
             f"group/g{event.gid}/gated_total", event.at, float(total)
+        )
+
+    def _on_control_decision(self, event: ControlDecision) -> None:
+        self._controls.append(event)
+        # One telemetry lane per (group, knob): the decision sequence is
+        # plottable beside the queue-depth lanes that triggered it.
+        self.telemetry.record(
+            f"control/g{event.gid}/{event.knob}", event.at, event.new
         )
 
     def _on_transmit(self, msg, lane, tx_start, tx_done, deliver_at) -> None:
@@ -305,6 +318,27 @@ class Tracer:
             )
             for event in self._reconfigs
         ]
+        controls = [
+            Span(
+                span_id=new_id(),
+                name=f"control:{event.knob}",
+                cat="control",
+                start=event.at,
+                end=event.at,
+                track="control",
+                args={
+                    "gid": event.gid,
+                    "knob": event.knob,
+                    "old": event.old,
+                    "new": event.new,
+                    "trigger": event.trigger,
+                    "value": event.value,
+                    "policy": event.policy,
+                    "epoch": event.epoch,
+                },
+            )
+            for event in self._controls
+        ]
         meta = {
             "n_groups": self.deployment.n_groups,
             "seed": self.deployment.seed,
@@ -318,6 +352,8 @@ class Tracer:
             },
             "kernel": getattr(self.deployment, "kernel", "classic"),
         }
+        if controls:
+            meta["control_decisions"] = len(controls)
         plan = getattr(self.deployment, "lane_plan", None)
         if plan is not None:
             # Worker count is deliberately excluded: the trace must stay
@@ -339,6 +375,7 @@ class Tracer:
             fault_spans=faults,
             telemetry=self.telemetry,
             reconfig_spans=reconfigs,
+            control_spans=controls,
             meta=meta,
         )
 

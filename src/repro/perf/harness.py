@@ -48,6 +48,12 @@ DEFAULT_TOLERANCE = 0.30
 #: against the untraced run — so no machine normalization is needed.
 TRACE_OVERHEAD_TOLERANCE = 0.10
 
+#: Allowed wall-clock slowdown of the fig08 point with the adaptive
+#: controller attached (telemetry sampling + per-tick policy decisions).
+#: Wall-clock only: actuation legitimately changes batching and
+#: admission, so committed counts are not required to match.
+CONTROL_OVERHEAD_TOLERANCE = 0.05
+
 
 @dataclass(frozen=True)
 class BenchConfig:
@@ -134,6 +140,7 @@ def _run_end_to_end(
     config: BenchConfig,
     log: Optional[Callable[[str], None]],
     traced: bool = False,
+    control: Optional[str] = None,
 ) -> Dict[str, float]:
     """Time the fig08 nationwide MassBFT YCSB-A point, best-of-N.
 
@@ -141,6 +148,8 @@ def _run_end_to_end(
     before each run (span collection, NIC transmit hook, telemetry
     sampler) — the timed region covers the run itself; span assembly and
     export are post-processing and not part of the overhead budget.
+    With ``control`` set, the closed-loop controller runs with that
+    policy (the control-overhead budget point).
     """
     from repro.protocols import GeoDeployment, protocol_by_name
     from repro.topology import nationwide_cluster
@@ -160,6 +169,7 @@ def _run_end_to_end(
             make_workload("ycsb-a"),
             offered_load=30_000.0,
             seed=0,
+            control=control,
         )
         if traced:
             deployment.attach_tracer()
@@ -185,7 +195,12 @@ def _run_end_to_end(
         "throughput_tps": metrics.throughput,
     }
     if log:
-        label = "end_to_end traced" if traced else "end_to_end (fig08 point)"
+        if traced:
+            label = "end_to_end traced"
+        elif control:
+            label = f"end_to_end control={control}"
+        else:
+            label = "end_to_end (fig08 point)"
         log(
             f"  {label:<28} {result['sim_seconds_per_wall_second']:8.2f} "
             f"sim-s/wall-s  ({best_wall:.3f}s wall, "
@@ -323,6 +338,24 @@ def run_perf(
                     f"  trace overhead               {overhead:+8.1%} "
                     f"(budget +{TRACE_OVERHEAD_TOLERANCE:.0%}, committed "
                     f"{'match' if report['trace_overhead']['committed_match'] else 'MISMATCH'})"
+                )
+            controlled = _run_end_to_end(config, log, control="aimd")
+            control_overhead = (
+                controlled["wall_seconds"] / e2e["wall_seconds"] - 1.0
+                if e2e["wall_seconds"] > 0
+                else 0.0
+            )
+            report["end_to_end_control"] = controlled
+            report["control_overhead"] = {
+                "ratio": control_overhead,
+                "tolerance": CONTROL_OVERHEAD_TOLERANCE,
+                "ok": control_overhead <= CONTROL_OVERHEAD_TOLERANCE,
+            }
+            if log:
+                log(
+                    f"  control overhead             {control_overhead:+8.1%} "
+                    f"(budget +{CONTROL_OVERHEAD_TOLERANCE:.0%}, "
+                    f"wall-clock only — actuation may change committed)"
                 )
             if profile:
                 report["profile"] = profile_end_to_end(config, log)

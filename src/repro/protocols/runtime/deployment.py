@@ -90,6 +90,7 @@ class GeoDeployment:
         lanes: Optional[int] = None,
         workers: int = 1,
         traffic: Optional[Any] = None,
+        control: Optional[Any] = None,
     ) -> None:
         """``offered_load`` is client transactions/second *per group*;
         ``max_batch_txns`` defaults to one batch-timeout's worth of
@@ -111,7 +112,15 @@ class GeoDeployment:
         spec carries a tenant mix. ``offered_load`` stays the envelope
         rate used for batch sizing (pass ``traffic.offered_load(...)``).
         When ``traffic`` is ``None`` nothing changes: the runtime never
-        imports :mod:`repro.traffic` and runs stay byte-identical."""
+        imports :mod:`repro.traffic` and runs stay byte-identical.
+
+        ``control`` enables the closed-loop adaptive controller
+        (:mod:`repro.control`): a policy name (``"static"``, ``"aimd"``,
+        ``"target"``), a policy object, or a pre-built
+        :class:`repro.control.ControlStage` factory via
+        ``spec.stages.control``. ``None`` (the default) never imports
+        :mod:`repro.control` and runs stay byte-identical
+        (zero-cost-off)."""
         if coding not in ("real", "simulated"):
             raise ValueError(f"unknown coding mode {coding!r}")
         if execution not in ("full", "modeled"):
@@ -150,7 +159,13 @@ class GeoDeployment:
         self.cert_size = cert_size
         self.wan_backlog_cap = wan_backlog_cap
         self.cpu_backlog_cap = cpu_backlog_cap
+        self.client_queue_seconds = client_queue_seconds
         self.materialize_payloads = coding == "real" or execution == "full"
+        #: Deployment-wide actuation epoch, bumped by the control stage on
+        #: every knob change (0 forever when no controller is attached).
+        #: Mirrors the membership-epoch invalidation machinery so cached
+        #: state keyed on it is refreshed after an actuation.
+        self.control_epoch = 0
 
         self.rng = RngRegistry(seed)
         self.kernel = kernel
@@ -221,7 +236,14 @@ class GeoDeployment:
                     # Dedicated streams per concern: arrival timing and
                     # tenant attribution never perturb the workload's
                     # own draw sequence (stream names are independent).
-                    tenants = traffic.tenants
+                    # Specs may carry per-group tenant mixes (regional
+                    # asymmetry); the name universe is validated to match
+                    # the base mix so tenant indices stay aligned.
+                    tenants_for = getattr(traffic, "tenants_for", None)
+                    if tenants_for is not None:
+                        tenants = tenants_for(gid)
+                    else:
+                        tenants = traffic.tenants
                     load = ClientLoad(
                         workload,
                         rate=self.offered_load[gid],
@@ -286,16 +308,30 @@ class GeoDeployment:
 
             self.reconfig = ReconfigStage(self)
 
-        # Timers: batching, then each phase's periodic work.
+        # Timers: batching, then each phase's periodic work. Batch-timer
+        # handles are kept: the control stage retunes a group's batching
+        # cadence by mutating its timer interval (next-tick effect).
+        self.batch_timers: Dict[int, Any] = {}
         for gid, group in self.groups.items():
             offset = (gid + 1) * 1e-4  # desynchronise group timers slightly
             with self.lane_context_of(gid):
-                self.sim.set_timer(
+                self.batch_timers[gid] = self.sim.set_timer(
                     batch_timeout + offset,
                     group.on_batch_timer,
                     interval=batch_timeout,
                 )
                 group.global_phase.install_timers(offset)
+
+        # Closed-loop adaptive control (imported lazily: with no
+        # controller requested the runtime never touches repro.control
+        # and stays byte-identical to a controller-free build).
+        self.control = None
+        if spec.stages is not None and spec.stages.control is not None:
+            self.control = spec.stages.control(self)
+        elif control is not None:
+            from repro.control import attach_controller
+
+            self.control = attach_controller(self, control)
 
     # ------------------------------------------------------------------
     # Stage selection

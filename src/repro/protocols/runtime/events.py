@@ -189,6 +189,33 @@ class EntryReplicationStarted:
 
 
 @dataclass(frozen=True)
+class ControlDecision:
+    """The adaptive-control stage actuated one protocol knob.
+
+    Published by :class:`repro.control.ControlStage` every time a policy
+    changes a knob — a seeded, replayable event: the decision is a pure
+    function of the sampled telemetry window, so the same (seed,
+    schedule) produces the same sequence on any kernel. ``epoch`` is the
+    deployment-wide control epoch *after* the actuation (it piggybacks on
+    the membership-epoch invalidation machinery). ``trigger``/``value``
+    name the telemetry signal that tripped the policy and its sampled
+    magnitude.
+    """
+
+    at: float
+    gid: int
+    # "max_batch_txns" | "batch_timeout" | "pipeline_window" |
+    # "round_window" | "stale_send_backlog" | "queue_seconds"
+    knob: str
+    old: float
+    new: float
+    trigger: str
+    value: float
+    policy: str
+    epoch: int
+
+
+@dataclass(frozen=True)
 class QueueDepthsSampled:
     """Admission-gate snapshot taken when a group evaluates its windows."""
 
@@ -262,6 +289,7 @@ class MetricsBridge:
         bus.subscribe(ClientArrivals, self._on_arrivals)
         bus.subscribe(QueueDepthsSampled, self._on_queue_depths)
         bus.subscribe(ProposalGated, self._on_gated)
+        bus.subscribe(ControlDecision, self._on_control_decision)
 
     def _on_batched(self, event: EntryBatched) -> None:
         self.metrics.stamp(event.entry_id, "batched", event.at)
@@ -303,6 +331,12 @@ class MetricsBridge:
 
     def _on_gated(self, event: ProposalGated) -> None:
         self.metrics.record_gated(event.gid, event.reason, event.at)
+
+    def _on_control_decision(self, event: ControlDecision) -> None:
+        self.metrics.record_control_decision(
+            event.at, event.gid, event.knob, event.old, event.new,
+            event.trigger, event.value, event.policy, event.epoch,
+        )
 
 
 @dataclass

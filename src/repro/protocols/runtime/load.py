@@ -200,6 +200,18 @@ class LoadStage:
         self.group = group
         self.deployment = group.deployment
         self.load = load
+        # Per-group copies of the deployment's admission/batching knobs.
+        # They start at the deployment-wide values (so uncontrolled runs
+        # are byte-identical to reading deployment.* directly) and are
+        # the actuation points of repro.control: the controller may tune
+        # one group's batch cap or backlog thresholds without touching
+        # the others.
+        deployment = self.deployment
+        self.max_batch_txns = deployment.max_batch_txns
+        self.pipeline_window = deployment.pipeline_window
+        self.round_window = deployment.round_window
+        self.wan_backlog_cap = deployment.wan_backlog_cap
+        self.cpu_backlog_cap = deployment.cpu_backlog_cap
         # Snapshot of the load counters at the last published
         # ClientArrivals event (offered, admitted, dropped).
         self._published = (0, 0, 0)
@@ -238,7 +250,7 @@ class LoadStage:
         """
         group = self.group
         deployment = self.deployment
-        cap = deployment.wan_backlog_cap
+        cap = self.wan_backlog_cap
         if group.spec.transport == "leader":
             senders = [group.rep]
         else:
@@ -265,7 +277,7 @@ class LoadStage:
         of an unbounded processing backlog."""
         group = self.group
         now = group.sim.now
-        cap = self.deployment.cpu_backlog_cap
+        cap = self.cpu_backlog_cap
         if group.rep.cpu.backlog(now) > cap:
             return True
         # The local PBFT leader broadcasts (n-1) entry copies over its
@@ -305,12 +317,12 @@ class LoadStage:
             return True
         if spec.ordering == "async":
             outstanding = group.next_seq - group.last_own_committed
-            if outstanding >= deployment.pipeline_window:
+            if outstanding >= self.pipeline_window:
                 deployment.bus.publish(ProposalGated(group.gid, now, "window"))
                 return False
             return True
         # Round-based: don't run ahead of execution by more than the window.
-        if group.next_seq - group.last_executed_round >= deployment.round_window:
+        if group.next_seq - group.last_executed_round >= self.round_window:
             deployment.bus.publish(ProposalGated(group.gid, now, "window"))
             return False
         if spec.epoch_slots:
@@ -369,7 +381,7 @@ class LoadStage:
         group = self.group
         deployment = self.deployment
         now = group.sim.now
-        txns = self.load.take(now, max_n=deployment.max_batch_txns)
+        txns = self.load.take(now, max_n=self.max_batch_txns)
         self._publish_arrivals(now)
         if not txns:
             return None

@@ -162,9 +162,18 @@ class ReconfigStage:
             "join_started", gid, index=index,
             detail=f"bytes={total} sponsors={plan.sponsor_count}",
         )
-        self.sim.schedule_at(done, self._promote, gid, node)
+        # The control epoch active when the join *started* rides along to
+        # promotion: a controller actuation landing mid-transfer bumps
+        # the deployment's control epoch, and the promote path must see
+        # the stale epoch it was scheduled under instead of silently
+        # racing the membership-epoch bump (the decision windows the
+        # controller accumulated for this group predate the new member).
+        self.sim.schedule_at(
+            done, self._promote, gid, node,
+            getattr(deployment, "control_epoch", 0),
+        )
 
-    def _promote(self, gid: int, node: GeoNode) -> None:
+    def _promote(self, gid: int, node: GeoNode, control_epoch: int = 0) -> None:
         deployment = self.deployment
         group = deployment.groups[gid]
         live = [n for n in group.members if not n.crashed]
@@ -194,10 +203,18 @@ class ReconfigStage:
             f"join {node.addr}",
         )
         group.pbft.epoch = view.epoch
-        self._announce(
-            "join", gid, index=node.index,
-            detail=f"n={view.n} quorum={view.quorum}",
-        )
+        detail = f"n={view.n} quorum={view.quorum}"
+        control = getattr(deployment, "control", None)
+        if control is not None:
+            # Record the carried epoch (and whether an actuation landed
+            # mid-join) only when a controller is attached: controller-off
+            # reconfig details must stay byte-identical to historic runs.
+            live_epoch = deployment.control_epoch
+            detail += f" ctl_epoch={control_epoch}"
+            if live_epoch != control_epoch:
+                detail += f"->{live_epoch}"
+                control.on_membership_change(gid)
+        self._announce("join", gid, index=node.index, detail=detail)
 
     # ------------------------------------------------------------------
     # Leave

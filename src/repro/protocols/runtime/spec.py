@@ -31,12 +31,18 @@ class StageOverrides:
         Returns the runtime-reconfiguration stage (membership epochs,
         join/leave, leader re-placement). Defaults to
         :class:`~repro.protocols.runtime.reconfig.ReconfigStage`.
+    ``control(deployment) -> ControlStage``
+        Returns the closed-loop adaptive-control stage
+        (:mod:`repro.control`). Defaults to ``None`` — no controller, no
+        import of :mod:`repro.control`, and runs stay byte-identical to
+        a build without the subsystem (zero-cost-off).
     """
 
     global_phase: Optional[Callable[..., Any]] = None
     transport: Optional[Callable[..., Any]] = None
     orderer: Optional[Callable[..., Any]] = None
     reconfig: Optional[Callable[..., Any]] = None
+    control: Optional[Callable[..., Any]] = None
 
 
 @dataclass(frozen=True)

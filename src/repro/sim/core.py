@@ -22,14 +22,22 @@ class SimulationBudgetExceeded(RuntimeError):
     and a silent partial run masks it as "idle".
     """
 
-    def __init__(self, max_events: int, pending_time: float) -> None:
+    def __init__(
+        self, max_events: int, pending_time: float, control_epoch: int = 0
+    ) -> None:
         super().__init__(
             f"event budget of {max_events} events exhausted with live events "
-            f"still pending (earliest at t={pending_time:.6f}s); raise "
-            f"max_events or fix the runaway event source"
+            f"still pending (earliest at t={pending_time:.6f}s, control "
+            f"epoch {control_epoch}); raise max_events or fix the runaway "
+            f"event source"
         )
         self.max_events = max_events
         self.pending_time = pending_time
+        #: The simulator's active control-actuation epoch at the moment
+        #: the budget drained. Diagnosing a runaway under an adaptive
+        #: controller needs to know whether an actuation was in flight;
+        #: 0 means no controller ever actuated.
+        self.control_epoch = control_epoch
 
 
 class Timer:
@@ -111,6 +119,12 @@ class Simulator:
         self._stopped = False
         self.events_processed = 0
         self._shutdown_hooks: List[Callable[[], None]] = []
+        #: Monotonic counter bumped by the adaptive-control stage on every
+        #: actuation (mirroring the deployment's membership epoch). Plain
+        #: bookkeeping — the loop never reads it — but error paths carry
+        #: it so a budget blow-up under an active controller is
+        #: attributable to the actuation epoch it happened in.
+        self.control_epoch = 0
 
     @property
     def now(self) -> float:
@@ -239,5 +253,7 @@ class Simulator:
         if self.events_processed - before >= max_events and not self._stopped:
             pending = self._queue.peek_time()
             if pending is not None:
-                raise SimulationBudgetExceeded(max_events, pending)
+                raise SimulationBudgetExceeded(
+                    max_events, pending, self.control_epoch
+                )
         return end

@@ -63,6 +63,43 @@ def nationwide_cluster(
     )
 
 
+def hetero_nationwide_cluster(
+    nodes_per_group: int = 7,
+    slow_nodes: int = 2,
+    slow_bandwidth: float = 5e6,
+    wan_bandwidth: float = WAN_20MBPS,
+) -> ClusterConfig:
+    """Fig 14's heterogeneous-bandwidth nationwide cluster.
+
+    The last ``slow_nodes`` nodes of every group attach at
+    ``slow_bandwidth`` (default 5 Mbps) instead of the uniform 20 Mbps —
+    the per-link skew regime where encoded replication's parity budget
+    (and the adaptive controller's stale-send margin) earn their keep.
+    Node 0 is never slowed so the initial representative keeps its full
+    uplink.
+    """
+    if not 0 <= slow_nodes < nodes_per_group:
+        raise ValueError("slow_nodes must leave at least one fast node")
+    overrides = {
+        nodes_per_group - 1 - i: slow_bandwidth for i in range(slow_nodes)
+    }
+    groups = [
+        GroupConfig(
+            gid=i,
+            n_nodes=nodes_per_group,
+            region=NATIONWIDE_REGIONS[i],
+            node_bandwidth=dict(overrides),
+        )
+        for i in range(3)
+    ]
+    return ClusterConfig(
+        groups=groups,
+        rtt_matrix=dict(NATIONWIDE_RTT),
+        wan_bandwidth=wan_bandwidth,
+        name="nationwide-hetero",
+    )
+
+
 def worldwide_cluster(
     nodes_per_group: int = 7, wan_bandwidth: float = WAN_20MBPS
 ) -> ClusterConfig:

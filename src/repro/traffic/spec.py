@@ -44,6 +44,7 @@ class TrafficSpec:
         tenants: Optional[TenantMix] = None,
         hotspot: Optional[HotspotDrift] = None,
         detail: Optional[dict] = None,
+        tenants_by_group: Optional[Mapping[int, TenantMix]] = None,
     ) -> None:
         self.name = name
         self._make_process = make_process
@@ -51,12 +52,35 @@ class TrafficSpec:
         self.tenants = tenants
         self.hotspot = hotspot
         self.detail = detail or {}
+        # Per-group tenant asymmetry: regional deployments serve the
+        # same tenant universe in different proportions. Every override
+        # must share the base mix's name tuple (same order), because
+        # tenant indices stamped on transactions index into it and
+        # per-tenant metrics are aggregated deployment-wide.
+        self.tenants_by_group: Dict[int, TenantMix] = {}
+        if tenants_by_group:
+            if tenants is None:
+                raise ValueError(
+                    "per-group tenant mixes need a base mix (the "
+                    "deployment-wide tenant name universe)"
+                )
+            for gid, mix in tenants_by_group.items():
+                if mix.names != tenants.names:
+                    raise ValueError(
+                        f"group {gid} tenant mix names {mix.names} do not "
+                        f"match the base mix {tenants.names}"
+                    )
+            self.tenants_by_group = dict(tenants_by_group)
 
     # -- deployment-facing API (duck-typed) ----------------------------
 
     def process_for(self, gid: int, rng: random.Random) -> ArrivalProcess:
         """Instantiate group ``gid``'s arrival process from its stream."""
         return self._make_process(gid, rng)
+
+    def tenants_for(self, gid: int) -> Optional[TenantMix]:
+        """Group ``gid``'s tenant mix (the base mix unless overridden)."""
+        return self.tenants_by_group.get(gid, self.tenants)
 
     def peak_rate(self, gid: int) -> float:
         """Envelope offered rate for ``gid`` (falls back to the max)."""
@@ -80,6 +104,11 @@ class TrafficSpec:
             doc["detail"] = self.detail
         if self.tenants is not None:
             doc["tenants"] = self.tenants.describe()
+        if self.tenants_by_group:
+            doc["tenants_by_group"] = {
+                str(gid): mix.describe()
+                for gid, mix in sorted(self.tenants_by_group.items())
+            }
         if self.hotspot is not None:
             doc["hotspot"] = self.hotspot.describe()
         return doc
@@ -93,6 +122,7 @@ class TrafficSpec:
         n_groups: int = 1,
         tenants: Optional[TenantMix] = None,
         hotspot: Optional[HotspotDrift] = None,
+        tenants_by_group: Optional[Mapping[int, TenantMix]] = None,
     ) -> "TrafficSpec":
         """The trivial process: the legacy metronome, now spelled out."""
         rates = _per_group(rate, n_groups)
@@ -103,6 +133,7 @@ class TrafficSpec:
         return cls(
             "constant", make, rates, tenants=tenants, hotspot=hotspot,
             detail={"process": "constant"},
+            tenants_by_group=tenants_by_group,
         )
 
     @classmethod
@@ -114,6 +145,7 @@ class TrafficSpec:
         hotspot: Optional[HotspotDrift] = None,
         name: str = "poisson",
         detail: Optional[dict] = None,
+        tenants_by_group: Optional[Mapping[int, TenantMix]] = None,
     ) -> "TrafficSpec":
         """Poisson arrivals over a rate curve (same curve or per group)."""
         per_group = _per_group_curves(curves, n_groups)
@@ -125,6 +157,7 @@ class TrafficSpec:
         return cls(
             name, make, peaks, tenants=tenants, hotspot=hotspot,
             detail=detail or {"process": "poisson"},
+            tenants_by_group=tenants_by_group,
         )
 
     @classmethod
@@ -134,6 +167,7 @@ class TrafficSpec:
         n_groups: int = 1,
         tenants: Optional[TenantMix] = None,
         hotspot: Optional[HotspotDrift] = None,
+        tenants_by_group: Optional[Mapping[int, TenantMix]] = None,
     ) -> "TrafficSpec":
         """Markov-modulated bursts, identical state machine per group
         (each group still draws from its own stream, so bursts are not
@@ -148,6 +182,7 @@ class TrafficSpec:
         return cls(
             "mmpp", make, rates, tenants=tenants, hotspot=hotspot,
             detail={"process": "mmpp", "states": [list(s) for s in states]},
+            tenants_by_group=tenants_by_group,
         )
 
     @classmethod
@@ -162,6 +197,7 @@ class TrafficSpec:
         ramp: float = 0.05,
         tenants: Optional[TenantMix] = None,
         hotspot: Optional[HotspotDrift] = None,
+        tenants_by_group: Optional[Mapping[int, TenantMix]] = None,
     ) -> "TrafficSpec":
         """A regional flash crowd: ``hot_groups`` spike while the rest
         idle along at ``base`` — the regionally skewed regime a
@@ -186,6 +222,7 @@ class TrafficSpec:
         return cls.poisson(
             curves, n_groups, tenants=tenants, hotspot=hotspot,
             name="flash_crowd", detail=detail,
+            tenants_by_group=tenants_by_group,
         )
 
 
